@@ -1,0 +1,71 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper at a
+reduced, laptop-friendly scale (see EXPERIMENTS.md for the mapping between
+the paper's configuration and the defaults here).  The reduced scale is
+controlled by the constants in this module so a user with more time can dial
+everything up in one place.
+
+Every module both:
+
+* prints the regenerated rows/series (the deliverable of the harness), and
+* registers a representative timed primitive with pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` produces machine-readable timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import DatasetSpec, generate_elliptic_like  # noqa: E402
+
+#: Number of qubits used by the resource-scaling benchmarks (paper: 100).
+RESOURCE_QUBITS = 24
+
+#: Interaction distances swept by the crossover benchmark (paper: 2..12).
+CROSSOVER_DISTANCES = (1, 2, 3, 4)
+
+#: Samples per configuration for timing medians (paper: 8 circuits / 28 IPs).
+TIMING_SAMPLES = 3
+
+#: Feature counts swept by the AUC benchmark (paper: 15, 50, 100, 165).
+AUC_FEATURE_COUNTS = (4, 6, 8, 10)
+
+#: Balanced sample sizes swept by the AUC benchmark (paper: 300, 1500, 6400).
+AUC_SAMPLE_SIZES = (16, 32, 64)
+
+#: Data set sizes / process counts for the parallel-scaling benchmark
+#: (paper: 400..6400 points on 2..32 GPUs).
+PARALLEL_CONFIGS = ((8, 1), (16, 2), (32, 4))
+
+#: Kernel-comparison sweep (paper Table II: d in 1..6, gamma in 0.1/0.5/1.0).
+TABLE2_DISTANCES = (1, 2, 3)
+TABLE2_GAMMAS = (0.1, 0.5, 1.0)
+TABLE2_FEATURES = 8
+TABLE2_SAMPLE_SIZE = 32
+
+#: Depth sweep (paper Table III: r in 2..20).
+TABLE3_DEPTHS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="session")
+def elliptic_dataset():
+    """Synthetic Elliptic-like dataset shared by the ML benchmarks."""
+    return generate_elliptic_like(
+        DatasetSpec(num_samples=1200, num_features=16, seed=2024)
+    )
+
+
+@pytest.fixture(scope="session")
+def feature_rows():
+    """A pool of scaled feature rows used by the resource benchmarks."""
+    rng = np.random.default_rng(7)
+    return rng.uniform(0.05, 1.95, size=(16, RESOURCE_QUBITS))

@@ -1,0 +1,123 @@
+"""Figures 9 and 10: AUC versus feature count for several data-set sizes.
+
+The paper trains the quantum-kernel SVM (d = 1, r = 2, gamma = 0.1) on
+balanced samples of 300 / 1500 / 6400 points with 15 / 50 / 100 / 165
+features, reporting the best-over-C AUC on the training set (Fig. 9) and the
+test set (Fig. 10).  The headline observation (C2.1): test AUC improves as
+both the feature count and the data-set size grow, with the smallest sample
+overfitting (high train AUC, flat test AUC).
+
+The reduced sweep uses AUC_FEATURE_COUNTS x AUC_SAMPLE_SIZES on the synthetic
+Elliptic-like data.  Because the samples are small the per-cell AUC is noisy;
+the tests therefore check trend statistics (correlations and averages across
+the sweep) rather than individual cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClassificationExperiment, run_classification_experiment
+from repro.profiling import format_table
+
+from conftest import AUC_FEATURE_COUNTS, AUC_SAMPLE_SIZES
+
+C_GRID = (0.5, 1.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def auc_sweep(elliptic_dataset):
+    rows = []
+    for sample_size in AUC_SAMPLE_SIZES:
+        for num_features in AUC_FEATURE_COUNTS:
+            exp = ClassificationExperiment(
+                num_features=num_features,
+                sample_size=sample_size,
+                interaction_distance=1,
+                layers=2,
+                gamma=0.1,
+                seed=31,
+            )
+            outcome = run_classification_experiment(
+                exp, dataset=elliptic_dataset, c_grid=C_GRID
+            )
+            rows.append(
+                {
+                    "sample_size": sample_size,
+                    "num_features": num_features,
+                    "train_auc": outcome.train_auc,
+                    "test_auc": outcome.test_auc,
+                }
+            )
+    return rows
+
+
+def test_fig9_10_all_aucs_valid(auc_sweep):
+    for row in auc_sweep:
+        assert 0.0 <= row["train_auc"] <= 1.0
+        assert 0.0 <= row["test_auc"] <= 1.0
+
+
+def test_fig10_test_auc_improves_with_features(auc_sweep):
+    """For the largest sample, more features do not hurt and help overall
+    (the paper's monotone improvement at 6400 samples)."""
+    largest = max(AUC_SAMPLE_SIZES)
+    series = [r["test_auc"] for r in auc_sweep if r["sample_size"] == largest]
+    assert series[-1] >= series[0] - 0.02
+    # Positive trend over the feature sweep.
+    slope = np.polyfit(range(len(series)), series, 1)[0]
+    assert slope > -0.005
+
+
+def test_fig10_more_data_gives_better_or_equal_test_auc(auc_sweep):
+    """Averaged over feature counts, larger samples generalise at least as
+    well as the smallest sample (C2.1's data-size direction)."""
+    by_size = {
+        size: np.mean([r["test_auc"] for r in auc_sweep if r["sample_size"] == size])
+        for size in AUC_SAMPLE_SIZES
+    }
+    smallest, largest = min(AUC_SAMPLE_SIZES), max(AUC_SAMPLE_SIZES)
+    assert by_size[largest] >= by_size[smallest] - 0.05
+
+
+def test_fig9_small_sample_overfits(auc_sweep):
+    """The smallest sample shows the largest train-test AUC gap at the
+    largest feature count (the paper's overfitting indicator)."""
+    biggest_features = max(AUC_FEATURE_COUNTS)
+    gaps = {
+        r["sample_size"]: r["train_auc"] - r["test_auc"]
+        for r in auc_sweep
+        if r["num_features"] == biggest_features
+    }
+    smallest, largest = min(AUC_SAMPLE_SIZES), max(AUC_SAMPLE_SIZES)
+    assert gaps[smallest] >= gaps[largest] - 0.05
+
+
+def test_fig9_10_print_series(auc_sweep):
+    print()
+    print(
+        format_table(
+            auc_sweep,
+            columns=["sample_size", "num_features", "train_auc", "test_auc"],
+            title="Figures 9-10 series (reduced scale)",
+            precision=3,
+        )
+    )
+
+
+def test_benchmark_single_pipeline_run(benchmark, elliptic_dataset):
+    """pytest-benchmark target: one full pipeline run of the sweep's cheapest cell."""
+    exp = ClassificationExperiment(
+        num_features=min(AUC_FEATURE_COUNTS),
+        sample_size=min(AUC_SAMPLE_SIZES),
+        interaction_distance=1,
+        layers=2,
+        gamma=0.1,
+        seed=31,
+    )
+    benchmark(
+        lambda: run_classification_experiment(
+            exp, dataset=elliptic_dataset, c_grid=(1.0,)
+        )
+    )

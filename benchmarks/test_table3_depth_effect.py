@@ -1,0 +1,121 @@
+"""Table III: the effect of ansatz depth (circuit repetitions) on the model.
+
+The paper fixes 50 features, d = 1, gamma = 1 and sweeps the number of ansatz
+repetitions r in {2, 4, 8, 12, 16, 20}.  Deeper circuits are more expressive
+but suffer from kernel concentration: overlaps between encoded states shrink,
+recall saturates at 1.0 while precision collapses, and the test AUC degrades
+monotonically beyond small depth (from 0.898 at r = 2 down to ~0.80 at
+r >= 12).
+
+The reduced sweep uses TABLE3_DEPTHS on TABLE2_FEATURES features.  Besides
+the AUC trend we check the mechanism directly: the off-diagonal kernel mean
+shrinks as depth grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClassificationExperiment, run_classification_experiment
+from repro.profiling import format_table
+
+from conftest import TABLE2_FEATURES, TABLE2_SAMPLE_SIZE, TABLE3_DEPTHS
+
+C_GRID = (0.5, 1.0, 4.0)
+GAMMA = 1.0
+
+
+@pytest.fixture(scope="module")
+def depth_sweep(elliptic_dataset):
+    rows = []
+    for depth in TABLE3_DEPTHS:
+        exp = ClassificationExperiment(
+            num_features=TABLE2_FEATURES,
+            sample_size=TABLE2_SAMPLE_SIZE,
+            interaction_distance=1,
+            layers=depth,
+            gamma=GAMMA,
+            seed=77,
+        )
+        outcome = run_classification_experiment(
+            exp, dataset=elliptic_dataset, c_grid=C_GRID
+        )
+        rows.append(
+            {
+                "depth": depth,
+                "auc": outcome.test_auc,
+                "recall": outcome.result.test_metrics["recall"],
+                "precision": outcome.result.test_metrics["precision"],
+                "accuracy": outcome.result.test_metrics["accuracy"],
+                "kernel_off_diag_mean": outcome.result.kernel_diagnostics[
+                    "off_diagonal_mean"
+                ],
+            }
+        )
+    return rows
+
+
+def test_table3_all_metrics_valid(depth_sweep):
+    assert len(depth_sweep) == len(TABLE3_DEPTHS)
+    for row in depth_sweep:
+        for key in ("auc", "recall", "precision", "accuracy"):
+            assert 0.0 <= row[key] <= 1.0
+
+
+def test_table3_kernel_concentration_grows_with_depth(depth_sweep):
+    """Mechanism of the degradation: the mean off-diagonal kernel entry
+    shrinks monotonically as the circuit gets deeper."""
+    means = [row["kernel_off_diag_mean"] for row in depth_sweep]
+    assert all(np.diff(means) < 0)
+    assert means[-1] < 0.5 * means[0]
+
+
+def test_table3_shallow_beats_deep(depth_sweep):
+    """C2.3: the shallowest configurations achieve at least the AUC of the
+    deepest one -- extra depth never helps."""
+    shallow_best = max(row["auc"] for row in depth_sweep[:2])
+    deepest = depth_sweep[-1]["auc"]
+    assert shallow_best >= deepest - 0.02
+
+
+def test_table3_degradation_trend(depth_sweep):
+    """AUC does not improve with depth: the best depth is among the shallow
+    half of the sweep."""
+    aucs = [row["auc"] for row in depth_sweep]
+    best_index = int(np.argmax(aucs))
+    assert best_index <= len(aucs) // 2
+
+
+def test_table3_print(depth_sweep):
+    print()
+    print(
+        format_table(
+            depth_sweep,
+            columns=[
+                "depth",
+                "auc",
+                "recall",
+                "precision",
+                "accuracy",
+                "kernel_off_diag_mean",
+            ],
+            title="Table III (reduced scale)",
+            precision=3,
+        )
+    )
+
+
+def test_benchmark_deepest_configuration(benchmark, elliptic_dataset):
+    """pytest-benchmark target: the deepest (most expensive) Table III cell."""
+    exp = ClassificationExperiment(
+        num_features=TABLE2_FEATURES,
+        sample_size=16,
+        interaction_distance=1,
+        layers=TABLE3_DEPTHS[-1],
+        gamma=GAMMA,
+        seed=77,
+    )
+    benchmark(
+        lambda: run_classification_experiment(exp, dataset=elliptic_dataset, c_grid=(1.0,))
+    )

@@ -1,0 +1,91 @@
+"""Quickstart: train a quantum-kernel SVM on a synthetic fraud-detection task.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a synthetic Elliptic-Bitcoin-like dataset and draw a balanced
+   sample (the paper's data protocol),
+2. build the Ising feature-map ansatz (one qubit per feature),
+3. compute the quantum kernel with the MPS simulator and train a kernel SVM
+   over a small grid of regularisation values,
+4. compare against the Gaussian-kernel baseline of Table II.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AnsatzConfig, QuantumKernelPipeline
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like, select_features
+from repro.profiling import format_table
+from repro.svm import train_test_split
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: a balanced sample of 48 transactions with 8 features.
+    # ------------------------------------------------------------------
+    num_features = 8
+    dataset = generate_elliptic_like(
+        DatasetSpec(num_samples=1000, num_features=num_features, seed=1)
+    )
+    sample = balanced_subsample(dataset, 48, seed=2)
+    X = select_features(sample.features, num_features)
+    y = sample.labels
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, seed=3)
+    print(
+        f"dataset: {sample.num_samples} balanced samples, "
+        f"{num_features} features, {X_train.shape[0]} train / {X_test.shape[0]} test"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The feature map: linear chain, nearest-neighbour interactions,
+    #    two layers, bandwidth gamma = 0.5.
+    # ------------------------------------------------------------------
+    ansatz = AnsatzConfig(
+        num_features=num_features, interaction_distance=1, layers=2, gamma=0.5
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Quantum kernel + SVM (best AUC over a small C grid).
+    # ------------------------------------------------------------------
+    quantum = QuantumKernelPipeline(ansatz, kernel="quantum", c_grid=(0.5, 1.0, 4.0))
+    quantum_result = quantum.run(X_train, y_train, X_test, y_test)
+
+    # ------------------------------------------------------------------
+    # 4. Gaussian baseline on the same splits.
+    # ------------------------------------------------------------------
+    gaussian = QuantumKernelPipeline(ansatz, kernel="gaussian", c_grid=(0.5, 1.0, 4.0))
+    gaussian_result = gaussian.run(X_train, y_train, X_test, y_test)
+
+    rows = []
+    for name, result in (("quantum", quantum_result), ("Gaussian", gaussian_result)):
+        rows.append(
+            {
+                "kernel": name,
+                "best C": result.best_C,
+                "AUC": result.test_metrics["auc"],
+                "recall": result.test_metrics["recall"],
+                "precision": result.test_metrics["precision"],
+                "accuracy": result.test_metrics["accuracy"],
+            }
+        )
+    print()
+    print(format_table(rows, title="Test-set metrics"))
+
+    resource = quantum_result.resource_metrics
+    print()
+    print(
+        "quantum kernel resources: "
+        f"{int(resource['num_simulations'])} MPS simulations, "
+        f"{int(resource['num_inner_products'])} inner products, "
+        f"max bond dimension {int(resource['max_bond_dimension'])}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` keeps working in offline environments
+whose pip/setuptools cannot build PEP 517 editable wheels (no ``wheel``
+package available).  In that situation run::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

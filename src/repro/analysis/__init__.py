@@ -1,0 +1,34 @@
+"""Analysis and ablation utilities.
+
+This package holds the studies that go beyond regenerating the paper's
+figures: entanglement/bond-dimension diagnostics of the feature map, the
+truncation-cutoff accuracy/memory trade-off the conclusion hints at ("more
+aggressive truncation may be deemed necessary"), the canonicalisation
+ablation, and the kernel-bandwidth study connecting gamma to kernel geometry
+and model quality.
+"""
+
+from .entanglement import (
+    EntanglementProfile,
+    entanglement_profile,
+    bond_dimension_growth,
+)
+from .ablation import (
+    TruncationSweepPoint,
+    truncation_cutoff_sweep,
+    canonicalization_ablation,
+    strategy_duplication_factor,
+)
+from .bandwidth import BandwidthStudyPoint, bandwidth_study
+
+__all__ = [
+    "EntanglementProfile",
+    "entanglement_profile",
+    "bond_dimension_growth",
+    "TruncationSweepPoint",
+    "truncation_cutoff_sweep",
+    "canonicalization_ablation",
+    "strategy_duplication_factor",
+    "BandwidthStudyPoint",
+    "bandwidth_study",
+]

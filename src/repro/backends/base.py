@@ -1,0 +1,202 @@
+"""Backend protocol and result records.
+
+A backend turns circuits into MPS states and computes inner products between
+MPS, reporting both the *measured* wall-clock time (actual Python/NumPy
+execution) and the *modelled* device time from its
+:class:`~repro.backends.cost_model.DeviceCostModel`.  The correctness of the
+output never depends on the backend: both backends run the same algorithm on
+the same arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from ..config import SimulationConfig
+from ..exceptions import BackendError
+from ..mps import MPS, InstrumentedMPS, TruncationPolicy
+from .cost_model import DeviceCostModel
+
+__all__ = ["Backend", "BackendResult", "InnerProductResult"]
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Outcome of simulating one circuit on a backend.
+
+    Attributes
+    ----------
+    state:
+        The resulting MPS.
+    wall_time_s:
+        Actual elapsed Python time.
+    modelled_time_s:
+        Device time predicted by the backend's cost model -- the quantity
+        compared across devices in Figure 5.
+    max_bond_dimension:
+        Largest virtual bond dimension of the final state.
+    memory_bytes:
+        Memory footprint of the final state.
+    num_gates / num_two_qubit_gates:
+        Gate counts of the simulated circuit.
+    """
+
+    state: MPS
+    wall_time_s: float
+    modelled_time_s: float
+    max_bond_dimension: int
+    memory_bytes: int
+    num_gates: int
+    num_two_qubit_gates: int
+
+    @property
+    def memory_mib(self) -> float:
+        """Memory footprint in MiB (Table I's unit)."""
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+@dataclass(frozen=True)
+class InnerProductResult:
+    """Outcome of one MPS-MPS inner product on a backend."""
+
+    value: complex
+    wall_time_s: float
+    modelled_time_s: float
+    bond_dimension: int
+
+
+class Backend(abc.ABC):
+    """Abstract MPS simulation backend.
+
+    Concrete backends provide a name and a cost model; the simulation logic
+    is shared here so that CPU and GPU backends are numerically identical by
+    construction (the property the paper verifies through matching bond
+    dimensions in Table I).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        cost_model: DeviceCostModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        if cost_model is None:
+            raise BackendError("a backend requires a DeviceCostModel")
+        self.cost_model = cost_model
+        #: Accumulated modelled device seconds, split by primitive.
+        self.modelled_simulation_time_s = 0.0
+        self.modelled_inner_product_time_s = 0.0
+        #: Accumulated measured wall-clock seconds.
+        self.wall_simulation_time_s = 0.0
+        self.wall_inner_product_time_s = 0.0
+        self.num_simulations = 0
+        self.num_inner_products = 0
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier, e.g. ``"cpu"`` or ``"gpu"``."""
+
+    def _policy(self) -> TruncationPolicy:
+        return TruncationPolicy(
+            cutoff=self.config.truncation_cutoff,
+            max_bond_dim=self.config.max_bond_dim,
+            allow_lossy_cap=self.config.allow_lossy_cap,
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, circuit, initial_state: MPS | None = None) -> BackendResult:
+        """Simulate a routed circuit and return the resulting MPS + timings.
+
+        ``initial_state`` defaults to ``|0...0>``; the feature-map circuits
+        include their own Hadamard preparation layer.
+        """
+        policy = self._policy()
+        if initial_state is not None:
+            state: MPS = initial_state.copy()
+        elif self.config.track_memory:
+            state = InstrumentedMPS.zero_state(circuit.num_qubits, policy)
+        else:
+            state = MPS.zero_state(circuit.num_qubits, policy)
+
+        modelled = 0.0
+        start = time.perf_counter()
+        for op in circuit.operations:
+            qubits = op.qubits
+            if len(qubits) == 1:
+                q = qubits[0]
+                chi_l = state.tensors[q].shape[0]
+                chi_r = state.tensors[q].shape[2]
+                modelled += self.cost_model.single_qubit_gate_time(chi_l, chi_r)
+                state.apply_single_qubit_gate(q, op.matrix())
+            else:
+                q0, q1 = qubits
+                if q1 != q0 + 1:
+                    raise BackendError(
+                        "backend received an unrouted circuit: two-qubit gate "
+                        f"on non-adjacent qubits {qubits}"
+                    )
+                chi_l = state.tensors[q0].shape[0]
+                chi_m = state.tensors[q0].shape[2]
+                chi_r = state.tensors[q1].shape[2]
+                modelled += self.cost_model.two_qubit_gate_time(chi_l, chi_m, chi_r)
+                state.apply_two_qubit_gate(q0, op.matrix())
+        wall = time.perf_counter() - start
+
+        self.modelled_simulation_time_s += modelled
+        self.wall_simulation_time_s += wall
+        self.num_simulations += 1
+
+        return BackendResult(
+            state=state,
+            wall_time_s=wall,
+            modelled_time_s=modelled,
+            max_bond_dimension=state.max_bond_dimension,
+            memory_bytes=state.memory_bytes,
+            num_gates=circuit.num_gates,
+            num_two_qubit_gates=circuit.num_two_qubit_gates,
+        )
+
+    def inner_product(self, bra: MPS, ket: MPS) -> InnerProductResult:
+        """Compute ``<bra|ket>`` and record modelled / measured timings."""
+        chi = max(bra.max_bond_dimension, ket.max_bond_dimension)
+        modelled = self.cost_model.inner_product_time(bra.num_qubits, chi)
+        start = time.perf_counter()
+        value = bra.inner_product(ket)
+        wall = time.perf_counter() - start
+
+        self.modelled_inner_product_time_s += modelled
+        self.wall_inner_product_time_s += wall
+        self.num_inner_products += 1
+        return InnerProductResult(
+            value=value,
+            wall_time_s=wall,
+            modelled_time_s=modelled,
+            bond_dimension=chi,
+        )
+
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Zero the accumulated timing counters."""
+        self.modelled_simulation_time_s = 0.0
+        self.modelled_inner_product_time_s = 0.0
+        self.wall_simulation_time_s = 0.0
+        self.wall_inner_product_time_s = 0.0
+        self.num_simulations = 0
+        self.num_inner_products = 0
+
+    def timing_summary(self) -> dict[str, float]:
+        """Accumulated timing counters as a flat dictionary."""
+        return {
+            "backend": self.name,
+            "num_simulations": self.num_simulations,
+            "num_inner_products": self.num_inner_products,
+            "modelled_simulation_time_s": self.modelled_simulation_time_s,
+            "modelled_inner_product_time_s": self.modelled_inner_product_time_s,
+            "wall_simulation_time_s": self.wall_simulation_time_s,
+            "wall_inner_product_time_s": self.wall_inner_product_time_s,
+        }

@@ -1,0 +1,51 @@
+"""Backend registry: lookup by name.
+
+Keeps example scripts and the benchmark harness free of backend-class
+imports; they just ask for ``"cpu"`` or ``"gpu"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..config import SimulationConfig
+from ..exceptions import BackendError
+from .base import Backend
+from .cpu import CpuBackend
+from .gpu import SimulatedGpuBackend
+
+__all__ = ["available_backends", "get_backend", "register_backend"]
+
+_REGISTRY: Dict[str, Callable[[SimulationConfig | None], Backend]] = {
+    "cpu": lambda config: CpuBackend(config),
+    "gpu": lambda config: SimulatedGpuBackend(config),
+}
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def register_backend(
+    name: str, factory: Callable[[SimulationConfig | None], Backend]
+) -> None:
+    """Register a custom backend factory under ``name``.
+
+    Raises if the name is already taken, so user extensions cannot silently
+    shadow the built-in backends.
+    """
+    if name in _REGISTRY:
+        raise BackendError(f"backend '{name}' is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str, config: SimulationConfig | None = None) -> Backend:
+    """Instantiate a backend by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend '{name}'; available: {available_backends()}"
+        ) from None
+    return factory(config)

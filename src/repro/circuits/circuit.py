@@ -1,0 +1,139 @@
+"""The :class:`Circuit` container: an ordered list of operations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ..exceptions import CircuitError
+from .gate import GateKind, Operation
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered sequence of gates acting on ``num_qubits`` qubits.
+
+    The class is a thin, validated container; transformation passes
+    (routing, scheduling) return new circuits rather than mutating in place
+    whenever the transformation is non-trivial.
+    """
+
+    __slots__ = ("_num_qubits", "_operations")
+
+    def __init__(
+        self, num_qubits: int, operations: Iterable[Operation] | None = None
+    ) -> None:
+        if num_qubits < 1:
+            raise CircuitError(f"num_qubits must be >= 1, got {num_qubits}")
+        self._num_qubits = int(num_qubits)
+        self._operations: List[Operation] = []
+        if operations is not None:
+            for op in operations:
+                self.append(op)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Width of the circuit."""
+        return self._num_qubits
+
+    @property
+    def operations(self) -> List[Operation]:
+        """The operations, in application order (shallow copy)."""
+        return list(self._operations)
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return len(self._operations)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Two-qubit gate count -- the MPS simulation cost driver."""
+        return sum(1 for op in self._operations if op.is_two_qubit)
+
+    @property
+    def num_single_qubit_gates(self) -> int:
+        """Single-qubit gate count."""
+        return self.num_gates - self.num_two_qubit_gates
+
+    def count_kind(self, kind: GateKind) -> int:
+        """Number of operations of the given kind."""
+        return sum(1 for op in self._operations if op.kind == kind)
+
+    # ------------------------------------------------------------------
+    def append(self, operation: Operation) -> None:
+        """Append a validated operation."""
+        for q in operation.qubits:
+            if q >= self._num_qubits:
+                raise CircuitError(
+                    f"operation targets qubit {q} but the circuit has only "
+                    f"{self._num_qubits} qubits"
+                )
+        self._operations.append(operation)
+
+    def add(
+        self,
+        kind: GateKind | str,
+        qubits: Sequence[int] | int,
+        angle: float = 0.0,
+        tag: str = "",
+    ) -> None:
+        """Convenience builder: ``circuit.add("RZ", 3, angle=0.5)``."""
+        if isinstance(kind, str):
+            kind = GateKind(kind)
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        self.append(Operation(kind=kind, qubits=tuple(qubits), angle=angle, tag=tag))
+
+    def extend(self, operations: Iterable[Operation]) -> None:
+        """Append several operations."""
+        for op in operations:
+            self.append(op)
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (operations are immutable, so sharing them is safe)."""
+        return Circuit(self._num_qubits, self._operations)
+
+    def remap_qubits(self, mapping: dict[int, int]) -> "Circuit":
+        """Return a circuit with qubits relabelled according to ``mapping``."""
+        return Circuit(
+            self._num_qubits, (op.remap(mapping) for op in self._operations)
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._operations[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits
+            and self._operations == other._operations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit(num_qubits={self._num_qubits}, gates={self.num_gates}, "
+            f"two_qubit_gates={self.num_two_qubit_gates})"
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Gate-count summary used by benchmark records."""
+        counts: dict[str, int] = {}
+        for op in self._operations:
+            counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+        return {
+            "num_qubits": self._num_qubits,
+            "num_gates": self.num_gates,
+            "num_two_qubit_gates": self.num_two_qubit_gates,
+            **{f"count_{k}": v for k, v in sorted(counts.items())},
+        }

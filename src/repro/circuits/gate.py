@@ -1,0 +1,156 @@
+"""Gate kinds and the :class:`Operation` record used by the circuit IR."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..mps import gates as gatelib
+
+__all__ = ["GateKind", "Operation"]
+
+
+class GateKind(str, enum.Enum):
+    """Enumeration of the gates the framework emits.
+
+    The ansatz only needs H, RZ, RXX and SWAP; the remaining kinds exist so
+    the IR is useful for the examples and for users extending the feature
+    map (e.g. with RZZ interactions).
+    """
+
+    H = "H"
+    X = "X"
+    Y = "Y"
+    Z = "Z"
+    RX = "RX"
+    RY = "RY"
+    RZ = "RZ"
+    RXX = "RXX"
+    RYY = "RYY"
+    RZZ = "RZZ"
+    SWAP = "SWAP"
+    CNOT = "CNOT"
+    CZ = "CZ"
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the gate."""
+        return 1 if self in _SINGLE_QUBIT_KINDS else 2
+
+    @property
+    def is_parameterised(self) -> bool:
+        """Whether the gate takes a rotation angle."""
+        return self in _PARAMETERISED_KINDS
+
+
+_SINGLE_QUBIT_KINDS = {
+    GateKind.H,
+    GateKind.X,
+    GateKind.Y,
+    GateKind.Z,
+    GateKind.RX,
+    GateKind.RY,
+    GateKind.RZ,
+}
+
+_PARAMETERISED_KINDS = {
+    GateKind.RX,
+    GateKind.RY,
+    GateKind.RZ,
+    GateKind.RXX,
+    GateKind.RYY,
+    GateKind.RZZ,
+}
+
+_FIXED_MATRICES = {
+    GateKind.H: gatelib.hadamard,
+    GateKind.X: gatelib.pauli_x,
+    GateKind.Y: gatelib.pauli_y,
+    GateKind.Z: gatelib.pauli_z,
+    GateKind.SWAP: gatelib.swap,
+    GateKind.CNOT: gatelib.cnot,
+    GateKind.CZ: gatelib.controlled_z,
+}
+
+_PARAM_MATRICES = {
+    GateKind.RX: gatelib.rx,
+    GateKind.RY: gatelib.ry,
+    GateKind.RZ: gatelib.rz,
+    GateKind.RXX: gatelib.rxx,
+    GateKind.RYY: gatelib.ryy,
+    GateKind.RZZ: gatelib.rzz,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate applied to specific qubits.
+
+    Attributes
+    ----------
+    kind:
+        Which gate.
+    qubits:
+        Target qubit indices; length must match the gate arity.  Two-qubit
+        targets may be non-adjacent before routing.
+    angle:
+        Rotation angle for parameterised gates, ``0.0`` otherwise.
+    tag:
+        Free-form label (e.g. ``"HZ"``, ``"HXX"``, ``"routing"``) used by
+        analysis and by the routing pass to identify inserted SWAPs.
+    """
+
+    kind: GateKind
+    qubits: Tuple[int, ...]
+    angle: float = 0.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        qubits = tuple(int(q) for q in self.qubits)
+        object.__setattr__(self, "qubits", qubits)
+        if len(qubits) != self.kind.num_qubits:
+            raise CircuitError(
+                f"{self.kind.value} acts on {self.kind.num_qubits} qubit(s), "
+                f"got targets {qubits}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate target qubits in {qubits}")
+        if any(q < 0 for q in qubits):
+            raise CircuitError(f"negative qubit index in {qubits}")
+        if not self.kind.is_parameterised and self.angle != 0.0:
+            raise CircuitError(
+                f"{self.kind.value} takes no angle but angle={self.angle} was given"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the operation."""
+        return self.kind.num_qubits
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """Whether this operation entangles two qubits."""
+        return self.kind.num_qubits == 2
+
+    def matrix(self) -> np.ndarray:
+        """Dense unitary matrix of the operation.
+
+        For two-qubit gates the first listed qubit is the most significant
+        bit of the matrix basis.
+        """
+        if self.kind in _FIXED_MATRICES:
+            return _FIXED_MATRICES[self.kind]()
+        return _PARAM_MATRICES[self.kind](self.angle)
+
+    def remap(self, mapping: dict[int, int]) -> "Operation":
+        """Return a copy acting on relabelled qubits."""
+        return Operation(
+            kind=self.kind,
+            qubits=tuple(mapping.get(q, q) for q in self.qubits),
+            angle=self.angle,
+            tag=self.tag,
+        )

@@ -1,0 +1,25 @@
+"""High-level pipeline: data -> feature map -> kernel -> SVM -> metrics.
+
+:class:`~repro.core.pipeline.QuantumKernelPipeline` is the user-facing entry
+point tying every substrate together; :mod:`~repro.core.experiment` contains
+the parameterised experiment runners the benchmark harness calls to
+regenerate the paper's figures and tables.
+"""
+
+from .pipeline import QuantumKernelPipeline, PipelineResult
+from .inference import InferenceResult, QuantumKernelInferenceEngine
+from .experiment import (
+    ClassificationExperiment,
+    ClassificationOutcome,
+    run_classification_experiment,
+)
+
+__all__ = [
+    "QuantumKernelPipeline",
+    "PipelineResult",
+    "ClassificationExperiment",
+    "ClassificationOutcome",
+    "run_classification_experiment",
+    "InferenceResult",
+    "QuantumKernelInferenceEngine",
+]

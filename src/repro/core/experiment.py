@@ -1,0 +1,180 @@
+"""Parameterised classification experiments used by the benchmark harness.
+
+Figures 9-10 and Tables II-III of the paper all follow the same recipe: draw
+a balanced sample of a given size from the Elliptic data, keep the first
+``m`` features, split 80/20, build the kernel with a given ansatz
+configuration, scan the SVM ``C`` grid and report the best-AUC metrics.
+:func:`run_classification_experiment` packages that recipe so each benchmark
+is a thin parameter sweep over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from ..config import DEFAULT_C_GRID, AnsatzConfig, SimulationConfig
+from ..data import EllipticLikeDataset, balanced_subsample, generate_elliptic_like, select_features
+from ..data.elliptic import DatasetSpec
+from ..exceptions import ConfigurationError
+from ..svm import train_test_split
+from .pipeline import PipelineResult, QuantumKernelPipeline
+
+__all__ = [
+    "ClassificationExperiment",
+    "ClassificationOutcome",
+    "run_classification_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ClassificationExperiment:
+    """Declarative description of one classification experiment.
+
+    Attributes
+    ----------
+    num_features:
+        Number of features kept (and qubits used).
+    sample_size:
+        Size of the balanced sample drawn from the dataset (train + test).
+    interaction_distance / layers / gamma:
+        Ansatz hyper-parameters ``d``, ``r``, ``gamma``.
+    kernel:
+        ``"quantum"``, ``"gaussian"`` or ``"projected"``.
+    test_fraction:
+        Train/test split fraction (paper: 0.2).
+    seed:
+        Seed controlling sampling and splitting.
+    backend_name:
+        Which MPS backend simulates the circuits.
+    """
+
+    num_features: int
+    sample_size: int
+    interaction_distance: int = 1
+    layers: int = 2
+    gamma: float = 0.1
+    kernel: Literal["quantum", "gaussian", "projected"] = "quantum"
+    test_fraction: float = 0.2
+    seed: int = 7
+    backend_name: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if self.sample_size < 8:
+            raise ConfigurationError("sample_size must be >= 8")
+        if self.sample_size % 2 != 0:
+            raise ConfigurationError("sample_size must be even (balanced classes)")
+        if not (0.0 < self.test_fraction < 1.0):
+            raise ConfigurationError("test_fraction must be in (0, 1)")
+
+    def ansatz(self) -> AnsatzConfig:
+        """The corresponding :class:`AnsatzConfig`."""
+        return AnsatzConfig(
+            num_features=self.num_features,
+            interaction_distance=self.interaction_distance,
+            layers=self.layers,
+            gamma=self.gamma,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Flat parameter dictionary for benchmark records."""
+        return {
+            "num_features": self.num_features,
+            "sample_size": self.sample_size,
+            "interaction_distance": self.interaction_distance,
+            "layers": self.layers,
+            "gamma": self.gamma,
+            "kernel": self.kernel,
+            "test_fraction": self.test_fraction,
+            "seed": self.seed,
+            "backend": self.backend_name,
+        }
+
+
+@dataclass
+class ClassificationOutcome:
+    """Experiment description plus the pipeline result it produced."""
+
+    experiment: ClassificationExperiment
+    result: PipelineResult
+
+    @property
+    def test_auc(self) -> float:
+        """Best test AUC (selection metric of every table/figure)."""
+        return self.result.test_auc
+
+    @property
+    def train_auc(self) -> float:
+        """Train AUC of the best-C model (Figure 9's quantity)."""
+        return self.result.train_metrics["auc"]
+
+    def row(self) -> Dict[str, object]:
+        """One table row: parameters plus the four reported metrics."""
+        metrics = self.result.test_metrics
+        return {
+            **self.experiment.describe(),
+            "best_C": self.result.best_C,
+            "auc": metrics["auc"],
+            "recall": metrics["recall"],
+            "precision": metrics["precision"],
+            "accuracy": metrics["accuracy"],
+        }
+
+
+def run_classification_experiment(
+    experiment: ClassificationExperiment,
+    dataset: EllipticLikeDataset | None = None,
+    simulation: SimulationConfig | None = None,
+    c_grid=DEFAULT_C_GRID,
+) -> ClassificationOutcome:
+    """Run one classification experiment end to end.
+
+    Parameters
+    ----------
+    experiment:
+        Declarative description of the run.
+    dataset:
+        An already-generated dataset to sample from; ``None`` generates a
+        default synthetic Elliptic-like dataset sized to the experiment.
+    simulation:
+        MPS simulation configuration (truncation cut-off etc.).
+    c_grid:
+        SVM regularisation grid.
+    """
+    if dataset is None:
+        # Generate just enough data for the requested balanced sample while
+        # keeping the minority class at the Elliptic-like imbalance.
+        needed_positive = experiment.sample_size // 2
+        total = max(int(needed_positive / 0.0976 * 1.3), experiment.sample_size * 2)
+        dataset = generate_elliptic_like(
+            DatasetSpec(
+                num_samples=total,
+                num_features=max(experiment.num_features, 1),
+                seed=experiment.seed,
+            )
+        )
+    if dataset.num_features < experiment.num_features:
+        raise ConfigurationError(
+            f"dataset has {dataset.num_features} features but the experiment "
+            f"needs {experiment.num_features}"
+        )
+
+    sample = balanced_subsample(dataset, experiment.sample_size, seed=experiment.seed)
+    X = select_features(sample.features, experiment.num_features)
+    y = sample.labels
+
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_fraction=experiment.test_fraction, seed=experiment.seed
+    )
+
+    pipeline = QuantumKernelPipeline(
+        ansatz=experiment.ansatz(),
+        kernel=experiment.kernel,
+        backend_name=experiment.backend_name,
+        simulation=simulation,
+        c_grid=c_grid,
+    )
+    result = pipeline.run(X_train, y_train, X_test, y_test)
+    return ClassificationOutcome(experiment=experiment, result=result)

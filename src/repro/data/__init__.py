@@ -1,0 +1,21 @@
+"""Data pipeline substrate.
+
+The paper's experiments run on the Elliptic Bitcoin data set (165 anonymised
+transaction features, ~4.5k "illicit" and ~42k "licit" labelled nodes)
+downloaded from Kaggle.  That download is unavailable offline, so this
+package provides a synthetic generator with the same shape and the same
+qualitative properties (see DESIGN.md, substitution 1), plus the balanced
+down-sampling and splitting used by every ML experiment.
+"""
+
+from .elliptic import EllipticLikeDataset, generate_elliptic_like, DatasetSpec
+from .sampling import balanced_subsample, select_features, stratified_indices
+
+__all__ = [
+    "EllipticLikeDataset",
+    "DatasetSpec",
+    "generate_elliptic_like",
+    "balanced_subsample",
+    "select_features",
+    "stratified_indices",
+]

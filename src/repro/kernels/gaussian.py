@@ -1,0 +1,143 @@
+"""Gaussian (RBF) kernel baseline.
+
+Table II compares the quantum kernel against a standard Gaussian kernel
+
+    k(x, x') = exp(-alpha |x - x'|^2)                      (paper eq. (9))
+
+with the bandwidth chosen as ``alpha = 1 / (m * var(X))`` for a data set
+``X`` with ``m`` features -- scikit-learn's ``gamma="scale"`` convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.spatial.distance
+
+from ..exceptions import KernelError
+
+__all__ = ["GaussianKernel", "gaussian_gram_matrix", "median_heuristic_bandwidth"]
+
+
+def _pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of two matrices."""
+    return scipy.spatial.distance.cdist(A, B, metric="sqeuclidean")
+
+
+def scale_bandwidth(X: np.ndarray) -> float:
+    """The paper's bandwidth: ``alpha = 1 / (m * var(X))``.
+
+    ``var(X)`` is the variance over all matrix entries; degenerate constant
+    data falls back to ``alpha = 1 / m``.
+    """
+    X = np.asarray(X, dtype=float)
+    m = X.shape[1]
+    var = float(np.var(X))
+    if var <= 0:
+        return 1.0 / m
+    return 1.0 / (m * var)
+
+
+def median_heuristic_bandwidth(X: np.ndarray) -> float:
+    """Alternative bandwidth: inverse median squared pairwise distance.
+
+    Provided for the bandwidth-sensitivity ablation; not used by the paper's
+    headline comparison.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.shape[0] < 2:
+        raise KernelError("median heuristic needs at least two samples")
+    d2 = _pairwise_sq_dists(X, X)
+    upper = d2[np.triu_indices_from(d2, k=1)]
+    med = float(np.median(upper))
+    if med <= 0:
+        return 1.0
+    return 1.0 / med
+
+
+def gaussian_gram_matrix(
+    A: np.ndarray, B: np.ndarray | None = None, alpha: float | None = None
+) -> np.ndarray:
+    """Gaussian kernel matrix between the rows of ``A`` and ``B``.
+
+    When ``B`` is ``None`` the symmetric Gram matrix of ``A`` is returned.
+    ``alpha`` defaults to the paper's ``1 / (m var(A))``.
+    """
+    A = np.asarray(A, dtype=float)
+    if A.ndim != 2:
+        raise KernelError(f"A must be 2-D, got shape {A.shape}")
+    if B is None:
+        B = A
+    else:
+        B = np.asarray(B, dtype=float)
+        if B.ndim != 2 or B.shape[1] != A.shape[1]:
+            raise KernelError(
+                f"B must be 2-D with {A.shape[1]} columns, got shape {B.shape}"
+            )
+    if alpha is None:
+        alpha = scale_bandwidth(A)
+    if alpha <= 0:
+        raise KernelError(f"alpha must be positive, got {alpha}")
+    return np.exp(-alpha * _pairwise_sq_dists(A, B))
+
+
+@dataclass
+class GaussianKernel:
+    """Stateful Gaussian kernel mirroring :class:`QuantumKernel`'s API.
+
+    ``fit`` stores the training matrix and resolves the bandwidth;
+    ``gram_matrix`` / ``cross_matrix`` then mirror the quantum kernel's
+    training and inference paths so the pipeline can switch kernels with one
+    argument.
+    """
+
+    alpha: float | None = None
+    _X_train: np.ndarray | None = None
+    _alpha_resolved: float | None = None
+
+    def fit(self, X_train: np.ndarray) -> "GaussianKernel":
+        """Store the training data and resolve the bandwidth."""
+        X_train = np.asarray(X_train, dtype=float)
+        if X_train.ndim != 2 or X_train.shape[0] == 0:
+            raise KernelError("X_train must be a non-empty 2-D matrix")
+        self._X_train = X_train
+        self._alpha_resolved = (
+            self.alpha if self.alpha is not None else scale_bandwidth(X_train)
+        )
+        return self
+
+    @property
+    def bandwidth(self) -> float:
+        """The resolved ``alpha`` (requires :meth:`fit`)."""
+        if self._alpha_resolved is None:
+            raise KernelError("GaussianKernel is not fitted")
+        return self._alpha_resolved
+
+    def gram_matrix(self, X: np.ndarray | None = None) -> np.ndarray:
+        """Symmetric Gram matrix on the training data (or on ``X``)."""
+        if X is None:
+            if self._X_train is None:
+                raise KernelError("GaussianKernel is not fitted")
+            X = self._X_train
+        return gaussian_gram_matrix(X, None, self._resolve_alpha(X))
+
+    def cross_matrix(self, X_test: np.ndarray) -> np.ndarray:
+        """Kernel between test rows and the stored training rows."""
+        if self._X_train is None:
+            raise KernelError("GaussianKernel is not fitted")
+        X_test = np.asarray(X_test, dtype=float)
+        return gaussian_gram_matrix(X_test, self._X_train, self.bandwidth)
+
+    def train_test_matrices(
+        self, X_train: np.ndarray, X_test: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fit on the training data and return both kernel matrices."""
+        self.fit(X_train)
+        return self.gram_matrix(), self.cross_matrix(X_test)
+
+    def _resolve_alpha(self, X: np.ndarray) -> float:
+        if self._alpha_resolved is not None:
+            return self._alpha_resolved
+        return self.alpha if self.alpha is not None else scale_bandwidth(X)

@@ -1,0 +1,152 @@
+"""Instrumented MPS recording the per-gate memory / bond-dimension trace.
+
+Figure 6 of the paper plots the memory required to store the MPS as a
+function of simulation progress (percentage of gates already applied), with
+the characteristic saw-tooth produced by SVD truncation.  To regenerate that
+figure we need an MPS that records, after every gate application:
+
+* the total memory footprint of the state,
+* the largest virtual bond dimension,
+* the cumulative truncation error.
+
+:class:`InstrumentedMPS` subclasses :class:`~repro.mps.mps.MPS` and appends a
+:class:`MemorySample` to its :class:`MemoryTrace` after each gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .mps import MPS
+from .truncation import TruncationPolicy, TruncationRecord
+
+__all__ = ["MemorySample", "MemoryTrace", "InstrumentedMPS"]
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """State of the MPS immediately after one gate application."""
+
+    gate_index: int
+    is_two_qubit: bool
+    memory_bytes: int
+    max_bond_dimension: int
+    cumulative_discarded_weight: float
+
+    @property
+    def memory_mib(self) -> float:
+        """Memory in MiB, the unit used by Table I and Figure 6."""
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class MemoryTrace:
+    """Ordered collection of :class:`MemorySample` for one simulation."""
+
+    samples: List[MemorySample] = field(default_factory=list)
+
+    def append(self, sample: MemorySample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Largest footprint observed during the simulation."""
+        return max((s.memory_bytes for s in self.samples), default=0)
+
+    @property
+    def final_memory_bytes(self) -> int:
+        """Footprint after the last gate."""
+        return self.samples[-1].memory_bytes if self.samples else 0
+
+    @property
+    def peak_bond_dimension(self) -> int:
+        """Largest chi observed during the simulation."""
+        return max((s.max_bond_dimension for s in self.samples), default=1)
+
+    def progress_axis(self) -> np.ndarray:
+        """Percentage-of-gates-applied x-axis used by Figure 6."""
+        n = len(self.samples)
+        if n == 0:
+            return np.zeros(0)
+        return 100.0 * (np.arange(1, n + 1) / n)
+
+    def memory_axis_mib(self) -> np.ndarray:
+        """Memory footprint in MiB aligned with :meth:`progress_axis`."""
+        return np.array([s.memory_mib for s in self.samples])
+
+    def bond_dimension_axis(self) -> np.ndarray:
+        """Max bond dimension aligned with :meth:`progress_axis`."""
+        return np.array([s.max_bond_dimension for s in self.samples])
+
+    def resample(self, num_points: int) -> "MemoryTrace":
+        """Down-sample the trace to ``num_points`` evenly spaced samples.
+
+        Long simulations produce one sample per gate which is more than
+        plotting needs; resampling keeps the trace envelope while bounding
+        the record size.
+        """
+        n = len(self.samples)
+        if num_points >= n or num_points <= 0:
+            return MemoryTrace(list(self.samples))
+        idx = np.linspace(0, n - 1, num_points).round().astype(int)
+        return MemoryTrace([self.samples[i] for i in idx])
+
+
+class InstrumentedMPS(MPS):
+    """MPS that records a :class:`MemoryTrace` during simulation."""
+
+    __slots__ = ("trace",)
+
+    def __init__(
+        self,
+        tensors: Sequence[np.ndarray],
+        truncation: TruncationPolicy | None = None,
+        center: int | None = None,
+    ) -> None:
+        super().__init__(tensors, truncation, center)
+        self.trace = MemoryTrace()
+
+    @classmethod
+    def plus_state(
+        cls, num_qubits: int, truncation: TruncationPolicy | None = None
+    ) -> "InstrumentedMPS":
+        base = MPS.plus_state(num_qubits, truncation)
+        return cls(base.tensors, truncation, center=0)
+
+    @classmethod
+    def zero_state(
+        cls, num_qubits: int, truncation: TruncationPolicy | None = None
+    ) -> "InstrumentedMPS":
+        base = MPS.zero_state(num_qubits, truncation)
+        return cls(base.tensors, truncation, center=0)
+
+    def _record(self, is_two_qubit: bool) -> None:
+        self.trace.append(
+            MemorySample(
+                gate_index=self.gates_applied,
+                is_two_qubit=is_two_qubit,
+                memory_bytes=self.memory_bytes,
+                max_bond_dimension=self.max_bond_dimension,
+                cumulative_discarded_weight=self.cumulative_discarded_weight,
+            )
+        )
+
+    def apply_single_qubit_gate(self, qubit: int, gate: np.ndarray) -> None:
+        super().apply_single_qubit_gate(qubit, gate)
+        self._record(is_two_qubit=False)
+
+    def apply_two_qubit_gate(
+        self, qubit: int, gate: np.ndarray, canonicalize: bool = True
+    ) -> TruncationRecord:
+        record = super().apply_two_qubit_gate(qubit, gate, canonicalize)
+        self._record(is_two_qubit=True)
+        return record

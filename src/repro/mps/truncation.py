@@ -1,0 +1,164 @@
+"""SVD truncation policies and error accounting.
+
+The paper (equation (8)) quantifies the error of a single truncation of a
+normalised, canonical-form MPS as::
+
+    |<psi_ideal | psi_trunc>|^2 = 1 - sum_i s_i^2
+
+where the sum runs over the *discarded* singular values ``s_i``.  The
+simulator keeps the accumulated discarded weight below a configurable cut-off
+(``1e-16`` by default, i.e. 64-bit machine precision) so that the overall
+simulation is numerically exact for all practical purposes, while still
+benefiting from the large memory savings the truncation provides (Fig. 6).
+
+:class:`TruncationPolicy` encapsulates the decision of *how many* singular
+values to keep; :class:`TruncationRecord` describes what one truncation did so
+that instrumented simulations can report cumulative error and bond-dimension
+evolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TruncationError
+
+__all__ = ["TruncationPolicy", "TruncationRecord", "truncate_singular_values"]
+
+
+@dataclass(frozen=True)
+class TruncationRecord:
+    """Outcome of a single SVD truncation.
+
+    Attributes
+    ----------
+    kept:
+        Number of singular values retained.
+    discarded:
+        Number of singular values removed.
+    discarded_weight:
+        Sum of squared removed singular values *relative to the total
+        squared weight* -- the quantity bounded by the policy cut-off.
+    bond_dimension_before / bond_dimension_after:
+        Virtual bond dimension before and after the truncation.
+    """
+
+    kept: int
+    discarded: int
+    discarded_weight: float
+    bond_dimension_before: int
+    bond_dimension_after: int
+
+    @property
+    def fidelity_lower_bound(self) -> float:
+        """Lower bound on ``|<ideal|truncated>|^2`` from equation (8)."""
+        return max(0.0, 1.0 - self.discarded_weight)
+
+
+@dataclass(frozen=True)
+class TruncationPolicy:
+    """How singular values are discarded after a two-qubit gate.
+
+    Parameters
+    ----------
+    cutoff:
+        Maximum allowed *relative* discarded squared weight per truncation.
+        The paper uses ``1e-16``.
+    max_bond_dim:
+        Optional hard cap on the number of retained singular values.
+    allow_lossy_cap:
+        When the hard cap forces more weight to be discarded than ``cutoff``
+        permits, raise :class:`TruncationError` unless this flag is set.
+    """
+
+    cutoff: float = 1e-16
+    max_bond_dim: int | None = None
+    allow_lossy_cap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cutoff < 0:
+            raise ConfigurationError(f"cutoff must be >= 0, got {self.cutoff}")
+        if self.max_bond_dim is not None and self.max_bond_dim < 1:
+            raise ConfigurationError(
+                f"max_bond_dim must be positive or None, got {self.max_bond_dim}"
+            )
+
+    def select_rank(self, singular_values: np.ndarray) -> Tuple[int, float]:
+        """Decide how many singular values to keep.
+
+        Parameters
+        ----------
+        singular_values:
+            1-D array sorted in non-increasing order (as returned by SVD).
+
+        Returns
+        -------
+        (kept, discarded_weight):
+            ``kept`` is the number of singular values to retain (at least 1)
+            and ``discarded_weight`` the relative squared weight of the rest.
+        """
+        s = np.asarray(singular_values, dtype=float)
+        if s.ndim != 1 or s.size == 0:
+            raise TruncationError("singular value array must be 1-D and non-empty")
+
+        total = float(np.sum(s * s))
+        if total <= 0.0:
+            # Degenerate state (all-zero theta); keep a single value to keep
+            # the MPS structurally valid.
+            return 1, 0.0
+
+        squared = s * s
+        # Cumulative discarded weight if we keep only the first k values:
+        # discarded(k) = sum_{i >= k} s_i^2
+        reversed_cumsum = np.cumsum(squared[::-1])[::-1]
+        # discarded_if_keep[k] for k = 1..n is reversed_cumsum[k] (0 for k = n)
+        n = s.size
+
+        kept = n
+        for k in range(1, n + 1):
+            discarded = reversed_cumsum[k] if k < n else 0.0
+            if discarded / total <= self.cutoff:
+                kept = k
+                break
+
+        if self.max_bond_dim is not None and kept > self.max_bond_dim:
+            capped = self.max_bond_dim
+            discarded = reversed_cumsum[capped] if capped < n else 0.0
+            rel = float(discarded / total)
+            if rel > self.cutoff and not self.allow_lossy_cap:
+                raise TruncationError(
+                    "bond-dimension cap would discard weight "
+                    f"{rel:.3e} > cutoff {self.cutoff:.3e}; "
+                    "set allow_lossy_cap=True for approximate simulation"
+                )
+            return capped, rel
+
+        discarded = reversed_cumsum[kept] if kept < n else 0.0
+        return kept, float(discarded / total)
+
+
+def truncate_singular_values(
+    u: np.ndarray,
+    s: np.ndarray,
+    vh: np.ndarray,
+    policy: TruncationPolicy,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, TruncationRecord]:
+    """Apply a truncation policy to the factors of an SVD.
+
+    ``u`` has shape ``(l, p, k)``, ``s`` shape ``(k,)`` and ``vh`` shape
+    ``(k, q, r)`` as produced by :func:`repro.mps.tensor_ops.split_theta`.
+    Returns the truncated ``(u, s, vh)`` plus a :class:`TruncationRecord`.
+    """
+    before = int(s.shape[0])
+    kept, discarded_weight = policy.select_rank(s)
+    record = TruncationRecord(
+        kept=kept,
+        discarded=before - kept,
+        discarded_weight=discarded_weight,
+        bond_dimension_before=before,
+        bond_dimension_after=kept,
+    )
+    return u[..., :kept], s[:kept], vh[:kept, ...], record

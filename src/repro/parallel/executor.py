@@ -1,0 +1,131 @@
+"""The worker that strategies drive, plus a one-call convenience wrapper.
+
+:class:`KernelWorker` adapts a :class:`repro.kernels.QuantumKernel` (and the
+scaled data matrix) to the minimal interface the distribution strategies
+need: ``simulate(index)``, ``inner_product(state_a, state_b)`` and
+``state_nbytes(state)``.  Each call returns both the result and the time to
+charge to the calling process; the worker can charge either measured
+wall-clock seconds or the backend's modelled device seconds, which is how the
+same strategy code produces both laptop-scale measurements and
+paper-scale projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Tuple
+
+import numpy as np
+
+from ..config import AnsatzConfig, SimulationConfig
+from ..exceptions import ParallelError
+from ..kernels.quantum_kernel import QuantumKernel
+from ..mps import MPS
+from .comm import CommunicationModel
+from .strategies import (
+    DistributedGramResult,
+    GramDistributionStrategy,
+    NoMessagingStrategy,
+    RoundRobinStrategy,
+)
+
+__all__ = ["KernelWorker", "compute_gram_distributed"]
+
+TimeSource = Literal["wall", "modelled"]
+
+
+class KernelWorker:
+    """Adapter exposing a quantum kernel as the strategies' worker interface.
+
+    Parameters
+    ----------
+    kernel:
+        The quantum kernel whose backend performs simulations and inner
+        products.
+    X:
+        Scaled feature matrix; ``simulate(i)`` encodes row ``i``.
+    time_source:
+        ``"wall"`` charges measured Python time, ``"modelled"`` charges the
+        backend cost-model time (used for CPU/GPU comparisons and
+        projections).
+    """
+
+    def __init__(
+        self,
+        kernel: QuantumKernel,
+        X: np.ndarray,
+        time_source: TimeSource = "wall",
+    ) -> None:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ParallelError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[1] != kernel.ansatz.num_features:
+            raise ParallelError(
+                f"X has {X.shape[1]} features but the ansatz expects "
+                f"{kernel.ansatz.num_features}"
+            )
+        if time_source not in ("wall", "modelled"):
+            raise ParallelError(f"unknown time_source {time_source!r}")
+        self.kernel = kernel
+        self.X = X
+        self.time_source = time_source
+        self.num_points = X.shape[0]
+
+    # ------------------------------------------------------------------
+    def simulate(self, index: int) -> Tuple[MPS, float]:
+        """Encode data point ``index``; returns the MPS and the charged time."""
+        if not (0 <= index < self.num_points):
+            raise ParallelError(f"data index {index} out of range")
+        from ..circuits import build_feature_map_circuit
+
+        circuit = build_feature_map_circuit(self.X[index], self.kernel.ansatz)
+        result = self.kernel.backend.simulate(circuit)
+        seconds = (
+            result.modelled_time_s if self.time_source == "modelled" else result.wall_time_s
+        )
+        return result.state, seconds
+
+    def inner_product(self, state_a: MPS, state_b: MPS) -> Tuple[float, float]:
+        """Kernel entry ``|<a|b>|^2`` and the charged time."""
+        result = self.kernel.backend.inner_product(state_a, state_b)
+        seconds = (
+            result.modelled_time_s if self.time_source == "modelled" else result.wall_time_s
+        )
+        return float(abs(result.value) ** 2), seconds
+
+    @staticmethod
+    def state_nbytes(state: MPS) -> int:
+        """Memory footprint of an MPS -- the message size when shipping it."""
+        return state.memory_bytes
+
+
+def compute_gram_distributed(
+    X: np.ndarray,
+    ansatz: AnsatzConfig,
+    num_processes: int,
+    strategy: str = "round-robin",
+    simulation: SimulationConfig | None = None,
+    backend_name: str = "cpu",
+    time_source: TimeSource = "wall",
+    communication: CommunicationModel | None = None,
+) -> DistributedGramResult:
+    """One-call distributed Gram matrix with the named strategy and backend.
+
+    This is the entry point the examples and Figure-8 benchmark use.
+    """
+    from ..backends import get_backend
+
+    backend = get_backend(backend_name, simulation)
+    kernel = QuantumKernel(ansatz, backend=backend)
+    worker = KernelWorker(kernel, X, time_source=time_source)
+
+    strat: GramDistributionStrategy
+    if strategy == "round-robin":
+        strat = RoundRobinStrategy(num_processes, communication)
+    elif strategy == "no-messaging":
+        strat = NoMessagingStrategy(num_processes, communication)
+    else:
+        raise ParallelError(
+            f"unknown strategy {strategy!r}; expected 'round-robin' or 'no-messaging'"
+        )
+    return strat.compute(worker, X.shape[0])

@@ -1,0 +1,157 @@
+"""Wall-clock projection to larger data sets and machines.
+
+The paper extrapolates its measurements to scenarios it does not run
+directly: "training on a data set of 64,000 entries could be achieved in 30
+hours using 320 GPUs, or in 15 hours using 640 GPUs".  The extrapolation is
+simple and worth making explicit:
+
+* the number of circuit simulations grows linearly with the data-set size
+  ``N`` and parallelises perfectly, so its wall-clock is
+  ``N * t_sim / P`` for ``P`` processes;
+* the number of inner products grows as ``N (N - 1) / 2`` and also
+  parallelises perfectly, giving ``N (N - 1) / 2 * t_ip / P``;
+* round-robin communication moves each block ``ceil((P-1)/2)`` times, so the
+  communicated volume per process is roughly ``(N / P) * bytes_per_state``
+  per step.
+
+:class:`ScalingProjection` packages those formulas; the Figure-8 benchmark
+uses it both to produce the "doubling data and processes" series and to
+reproduce the paper's 64,000-point extrapolation from the measured (or
+modelled) per-primitive times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..exceptions import ParallelError
+from .comm import CommunicationModel
+
+__all__ = ["ScalingProjection", "project_wall_clock"]
+
+
+@dataclass(frozen=True)
+class ScalingProjection:
+    """Per-primitive costs from which large-scale wall-clock is projected.
+
+    Attributes
+    ----------
+    simulation_time_per_circuit_s:
+        Time to simulate one feature-map circuit (one data point).
+    inner_product_time_s:
+        Time for one MPS-MPS inner product.
+    bytes_per_state:
+        Memory footprint of one MPS (message size for round-robin).
+    communication:
+        Latency/bandwidth model for the interconnect.
+    """
+
+    simulation_time_per_circuit_s: float
+    inner_product_time_s: float
+    bytes_per_state: float = 0.0
+    communication: CommunicationModel = CommunicationModel()
+
+    def __post_init__(self) -> None:
+        if self.simulation_time_per_circuit_s < 0 or self.inner_product_time_s < 0:
+            raise ParallelError("per-primitive times must be non-negative")
+        if self.bytes_per_state < 0:
+            raise ParallelError("bytes_per_state must be non-negative")
+
+    # ------------------------------------------------------------------
+    def simulation_wall_s(self, num_points: int, num_processes: int) -> float:
+        """Projected wall-clock of the simulation phase."""
+        self._validate(num_points, num_processes)
+        circuits_per_process = -(-num_points // num_processes)  # ceil division
+        return circuits_per_process * self.simulation_time_per_circuit_s
+
+    def inner_product_wall_s(self, num_points: int, num_processes: int) -> float:
+        """Projected wall-clock of the inner-product phase (symmetric Gram)."""
+        self._validate(num_points, num_processes)
+        total_products = num_points * (num_points - 1) / 2
+        per_process = -(-total_products // num_processes)
+        return per_process * self.inner_product_time_s
+
+    def communication_wall_s(self, num_points: int, num_processes: int) -> float:
+        """Projected round-robin communication wall-clock."""
+        self._validate(num_points, num_processes)
+        if num_processes == 1 or self.bytes_per_state == 0:
+            return 0.0
+        block_size = -(-num_points // num_processes)
+        steps = (num_processes - 1 + 1) // 2 if num_processes % 2 == 1 else num_processes // 2
+        per_step = self.communication.transfer_time(
+            int(block_size * self.bytes_per_state)
+        )
+        # Each step involves a send and a matching receive on every process.
+        return steps * 2 * per_step
+
+    def total_wall_s(self, num_points: int, num_processes: int) -> float:
+        """Projected total wall-clock for the training Gram matrix."""
+        return (
+            self.simulation_wall_s(num_points, num_processes)
+            + self.inner_product_wall_s(num_points, num_processes)
+            + self.communication_wall_s(num_points, num_processes)
+        )
+
+    def breakdown(self, num_points: int, num_processes: int) -> Dict[str, float]:
+        """All three phases plus the total, as a dictionary."""
+        return {
+            "num_points": num_points,
+            "num_processes": num_processes,
+            "simulation_wall_s": self.simulation_wall_s(num_points, num_processes),
+            "inner_product_wall_s": self.inner_product_wall_s(num_points, num_processes),
+            "communication_wall_s": self.communication_wall_s(num_points, num_processes),
+            "total_wall_s": self.total_wall_s(num_points, num_processes),
+        }
+
+    def inference_wall_s(
+        self, num_train: int, num_processes: int, simulate_new_point: bool = True
+    ) -> float:
+        """Projected time to classify one new data point.
+
+        One new circuit simulation (not parallelised in the paper's
+        framework) plus ``num_train`` inner products spread over the
+        processes holding the training states.
+        """
+        self._validate(num_train, num_processes)
+        sim = self.simulation_time_per_circuit_s if simulate_new_point else 0.0
+        products_per_process = -(-num_train // num_processes)
+        return sim + products_per_process * self.inner_product_time_s
+
+    @staticmethod
+    def _validate(num_points: int, num_processes: int) -> None:
+        if num_points < 1:
+            raise ParallelError("num_points must be >= 1")
+        if num_processes < 1:
+            raise ParallelError("num_processes must be >= 1")
+
+
+def project_wall_clock(
+    measured_breakdown: Dict[str, float],
+    measured_points: int,
+    measured_processes: int,
+    target_points: int,
+    target_processes: int,
+    bytes_per_state: float = 0.0,
+    communication: CommunicationModel | None = None,
+) -> Dict[str, float]:
+    """Scale a measured Figure-8 breakdown to a larger configuration.
+
+    The per-primitive costs are inferred from the measured phase wall-clocks
+    and the known operation counts, then re-applied at the target scale.
+    """
+    if measured_points < 2 or measured_processes < 1:
+        raise ParallelError("measured configuration is degenerate")
+    sims_per_proc = -(-measured_points // measured_processes)
+    prods_per_proc = -(
+        -(measured_points * (measured_points - 1) / 2) // measured_processes
+    )
+    t_sim = measured_breakdown["simulation_wall_s"] / max(sims_per_proc, 1)
+    t_ip = measured_breakdown["inner_product_wall_s"] / max(prods_per_proc, 1)
+    projection = ScalingProjection(
+        simulation_time_per_circuit_s=t_sim,
+        inner_product_time_s=t_ip,
+        bytes_per_state=bytes_per_state,
+        communication=communication if communication is not None else CommunicationModel(),
+    )
+    return projection.breakdown(target_points, target_processes)

@@ -1,0 +1,158 @@
+"""Tiling of the Gram matrix for distributed computation.
+
+Both distribution strategies carve the ``N x N`` (or ``N_test x N_train``)
+kernel matrix into rectangular tiles.  :func:`partition_indices` produces the
+near-equal contiguous index blocks that define tile boundaries, and
+:func:`square_tiling` enumerates the tiles together with their owning process
+for the no-messaging strategy.  :func:`tiles_cover_matrix` is the invariant
+checked by the property-based tests: every requested entry is covered by
+exactly one tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TilingError
+
+__all__ = ["Tile", "partition_indices", "square_tiling", "tiles_cover_matrix"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular tile of the kernel matrix.
+
+    Attributes
+    ----------
+    row_block / col_block:
+        Index of the row / column block this tile covers.
+    row_indices / col_indices:
+        The global matrix indices covered (as tuples for hashability).
+    owner:
+        Rank of the process responsible for computing the tile.
+    symmetric_diagonal:
+        ``True`` for diagonal tiles of a symmetric Gram matrix, where only
+        the upper triangle (including the unit diagonal) needs computing.
+    """
+
+    row_block: int
+    col_block: int
+    row_indices: Tuple[int, ...]
+    col_indices: Tuple[int, ...]
+    owner: int
+    symmetric_diagonal: bool = False
+
+    @property
+    def num_entries(self) -> int:
+        """Number of kernel entries the tile is responsible for."""
+        n_rows, n_cols = len(self.row_indices), len(self.col_indices)
+        if self.symmetric_diagonal:
+            return n_rows * (n_rows - 1) // 2
+        return n_rows * n_cols
+
+    @property
+    def required_states(self) -> Tuple[int, ...]:
+        """All state indices a process must hold to compute this tile."""
+        return tuple(sorted(set(self.row_indices) | set(self.col_indices)))
+
+    def entry_pairs(self) -> List[Tuple[int, int]]:
+        """The (row, col) pairs this tile computes.
+
+        For symmetric diagonal tiles only pairs with ``row < col`` are
+        emitted (the diagonal itself is 1 by normalisation).
+        """
+        pairs: List[Tuple[int, int]] = []
+        if self.symmetric_diagonal:
+            idx = self.row_indices
+            for a in range(len(idx)):
+                for b in range(a + 1, len(idx)):
+                    pairs.append((idx[a], idx[b]))
+            return pairs
+        for r in self.row_indices:
+            for c in self.col_indices:
+                pairs.append((r, c))
+        return pairs
+
+
+def partition_indices(n: int, k: int) -> List[np.ndarray]:
+    """Split ``range(n)`` into ``k`` contiguous, near-equal blocks.
+
+    The first ``n % k`` blocks receive one extra element.  Raises when there
+    are more blocks than elements, which would leave some process with no
+    work and usually indicates a misconfigured run.
+    """
+    if n < 1:
+        raise TilingError(f"cannot partition {n} indices")
+    if k < 1:
+        raise TilingError(f"number of blocks must be >= 1, got {k}")
+    if k > n:
+        raise TilingError(f"more blocks ({k}) than indices ({n})")
+    base = n // k
+    remainder = n % k
+    blocks: List[np.ndarray] = []
+    start = 0
+    for b in range(k):
+        size = base + (1 if b < remainder else 0)
+        blocks.append(np.arange(start, start + size))
+        start += size
+    return blocks
+
+
+def square_tiling(
+    n: int,
+    num_blocks: int,
+    symmetric: bool = True,
+    num_owners: int | None = None,
+) -> List[Tile]:
+    """Tile an ``n x n`` kernel matrix into ``num_blocks x num_blocks`` tiles.
+
+    For a symmetric matrix only tiles with ``row_block <= col_block`` are
+    produced (the strategy mirrors the entries afterwards) and the diagonal
+    tiles are marked so they compute only their upper triangle.  Tile
+    ownership is assigned round-robin over ``num_owners`` processes (one
+    owner per tile when ``num_owners`` is ``None``) so per-process entry
+    counts stay balanced.
+    """
+    if num_owners is not None and num_owners < 1:
+        raise TilingError(f"num_owners must be >= 1, got {num_owners}")
+    blocks = partition_indices(n, num_blocks)
+    tiles: List[Tile] = []
+    tile_index = 0
+    for rb in range(num_blocks):
+        col_start = rb if symmetric else 0
+        for cb in range(col_start, num_blocks):
+            owner = tile_index if num_owners is None else tile_index % num_owners
+            tiles.append(
+                Tile(
+                    row_block=rb,
+                    col_block=cb,
+                    row_indices=tuple(int(i) for i in blocks[rb]),
+                    col_indices=tuple(int(i) for i in blocks[cb]),
+                    owner=owner,
+                    symmetric_diagonal=symmetric and rb == cb,
+                )
+            )
+            tile_index += 1
+    return tiles
+
+
+def tiles_cover_matrix(tiles: Sequence[Tile], n: int, symmetric: bool = True) -> bool:
+    """Check that the tiles cover every required entry exactly once.
+
+    For symmetric matrices the required entries are the strict upper
+    triangle; for rectangular/asymmetric cases every ``(i, j)`` pair.
+    """
+    covered = np.zeros((n, n), dtype=int)
+    for tile in tiles:
+        for (r, c) in tile.entry_pairs():
+            if not (0 <= r < n and 0 <= c < n):
+                return False
+            covered[r, c] += 1
+    if symmetric:
+        expected = np.triu(np.ones((n, n), dtype=int), k=1)
+    else:
+        expected = np.ones((n, n), dtype=int)
+    return bool(np.array_equal(covered, expected))

@@ -1,0 +1,15 @@
+"""Instrumentation shared by the benchmark harness: timers, records, tables."""
+
+from .timers import Timer, timed
+from .records import RunRecord, RecordCollection
+from .reporting import format_table, summarize_samples, quartiles
+
+__all__ = [
+    "Timer",
+    "timed",
+    "RunRecord",
+    "RecordCollection",
+    "format_table",
+    "summarize_samples",
+    "quartiles",
+]

@@ -1,0 +1,112 @@
+"""Run records: the JSON-friendly result rows emitted by every benchmark.
+
+The paper's artifact produces one JSON file per experiment containing the
+parameters and the measured quantities; :class:`RunRecord` is the equivalent
+here, and :class:`RecordCollection` provides the grouping / aggregation the
+``to_csv.py`` scripts of the artifact perform.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["RunRecord", "RecordCollection"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert NumPy scalars/arrays to plain Python for JSON serialisation."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One experiment result: parameters + measurements, both flat mappings."""
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly dictionary (params and metrics merged)."""
+        out: Dict[str, Any] = {"experiment": self.experiment}
+        out.update({f"param_{k}": _jsonable(v) for k, v in self.params.items()})
+        out.update({f"metric_{k}": _jsonable(v) for k, v in self.metrics.items()})
+        return out
+
+    def to_json(self) -> str:
+        """JSON string of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class RecordCollection:
+    """A list of :class:`RunRecord` with grouping and aggregation helpers."""
+
+    def __init__(self, records: Iterable[RunRecord] | None = None) -> None:
+        self._records: List[RunRecord] = list(records) if records else []
+
+    def add(self, record: RunRecord) -> None:
+        """Append a record."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def filter(self, predicate: Callable[[RunRecord], bool]) -> "RecordCollection":
+        """Records for which ``predicate`` is true."""
+        return RecordCollection(r for r in self._records if predicate(r))
+
+    def group_by(self, param: str) -> Dict[Any, "RecordCollection"]:
+        """Group records by the value of one parameter."""
+        groups: Dict[Any, RecordCollection] = {}
+        for r in self._records:
+            if param not in r.params:
+                raise ReproError(f"record is missing parameter {param!r}")
+            groups.setdefault(r.params[param], RecordCollection()).add(r)
+        return groups
+
+    def metric_values(self, metric: str) -> np.ndarray:
+        """Array of one metric across all records."""
+        values = []
+        for r in self._records:
+            if metric not in r.metrics:
+                raise ReproError(f"record is missing metric {metric!r}")
+            values.append(float(r.metrics[metric]))
+        return np.array(values)
+
+    def aggregate(self, metric: str) -> Dict[str, float]:
+        """Mean / median / quartiles of one metric across records."""
+        values = self.metric_values(metric)
+        if values.size == 0:
+            raise ReproError("cannot aggregate an empty collection")
+        return {
+            "mean": float(np.mean(values)),
+            "median": float(np.median(values)),
+            "q1": float(np.percentile(values, 25)),
+            "q3": float(np.percentile(values, 75)),
+            "min": float(np.min(values)),
+            "max": float(np.max(values)),
+            "count": int(values.size),
+        }
+
+    def to_json_lines(self) -> str:
+        """Newline-delimited JSON of all records."""
+        return "\n".join(r.to_json() for r in self._records)

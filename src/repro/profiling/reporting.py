@@ -1,0 +1,84 @@
+"""Plain-text table formatting and sample summaries for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers keep the formatting consistent (fixed-width columns, 3-decimal
+floats) without pulling in any plotting or dataframe dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["format_table", "summarize_samples", "quartiles"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    if not rows:
+        raise ReproError("format_table needs at least one row")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = list(columns)
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([_format_cell(row.get(col, ""), precision) for col in header])
+
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def quartiles(samples: Iterable[float]) -> Tuple[float, float, float]:
+    """(first quartile, median, third quartile) of a sample list.
+
+    Figure 5 reports the median with first/third-quartile error bars; this is
+    the helper the crossover benchmark uses.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ReproError("quartiles of an empty sample")
+    return (
+        float(np.percentile(values, 25)),
+        float(np.median(values)),
+        float(np.percentile(values, 75)),
+    )
+
+
+def summarize_samples(samples: Iterable[float]) -> Dict[str, float]:
+    """Median/quartile/mean summary of a sample list."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ReproError("summary of an empty sample")
+    q1, med, q3 = quartiles(values)
+    return {
+        "median": med,
+        "q1": q1,
+        "q3": q3,
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "count": int(values.size),
+    }

@@ -1,0 +1,66 @@
+"""Minimal timing helpers used across the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    ``with timer.section("simulation"): ...`` accumulates elapsed wall-clock
+    seconds under the given name; :meth:`summary` returns all totals.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add elapsed seconds under ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never recorded)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per recorded section of ``name``."""
+        count = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / count if count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat mapping of section name to accumulated seconds."""
+        return dict(self.totals)
+
+
+def timed(func: Callable[..., T]) -> Callable[..., Tuple[T, float]]:
+    """Decorator returning ``(result, elapsed_seconds)`` instead of the result."""
+
+    def wrapper(*args, **kwargs) -> Tuple[T, float]:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(func, "__name__", "timed")
+    wrapper.__doc__ = func.__doc__
+    return wrapper

@@ -1,0 +1,10 @@
+"""Dense statevector simulation substrate.
+
+Used as the exact reference against which the MPS engine is validated on
+small systems (the role statevector simulators play in the paper's section
+II-B discussion, where they cap out around 30-40 qubits).
+"""
+
+from .simulator import StatevectorSimulator, statevector_fidelity
+
+__all__ = ["StatevectorSimulator", "statevector_fidelity"]

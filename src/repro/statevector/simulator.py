@@ -1,0 +1,150 @@
+"""Dense statevector simulator.
+
+The simulator stores the full ``2^m`` complex amplitude vector and applies
+gates by tensor contraction on the relevant qubit axes.  It is exponential in
+the number of qubits and therefore only used for validation of the MPS engine
+(``m <= ~14`` in the tests) and for the small worked examples -- exactly the
+limitation of statevector simulation the paper motivates MPS methods with.
+
+Qubit ordering: qubit 0 is the most significant bit of the computational
+basis index, matching :meth:`repro.mps.MPS.to_statevector`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..mps import gates as gatelib
+
+__all__ = ["StatevectorSimulator", "statevector_fidelity"]
+
+#: Hard limit: beyond this a dense simulation would need > 512 MiB.
+_MAX_DENSE_QUBITS = 24
+
+
+class StatevectorSimulator:
+    """Exact dense simulator of an ``m``-qubit register."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise SimulationError("num_qubits must be >= 1")
+        if num_qubits > _MAX_DENSE_QUBITS:
+            raise SimulationError(
+                f"dense simulation limited to {_MAX_DENSE_QUBITS} qubits, "
+                f"got {num_qubits}; use the MPS simulator instead"
+            )
+        self._num_qubits = num_qubits
+        # State is held as a rank-m tensor with one axis of dimension 2 per
+        # qubit; axis i corresponds to qubit i.
+        state = np.zeros((2,) * num_qubits, dtype=np.complex128)
+        state[(0,) * num_qubits] = 1.0
+        self._state = state
+        self._gates_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def gates_applied(self) -> int:
+        """Number of gates applied so far."""
+        return self._gates_applied
+
+    @property
+    def statevector(self) -> np.ndarray:
+        """A copy of the dense state as a flat ``2^m`` vector."""
+        return self._state.reshape(-1).copy()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to ``|0...0>``."""
+        self._state = np.zeros((2,) * self._num_qubits, dtype=np.complex128)
+        self._state[(0,) * self._num_qubits] = 1.0
+        self._gates_applied = 0
+
+    def prepare_plus_state(self) -> None:
+        """Apply a Hadamard to every qubit of the freshly reset register."""
+        self.reset()
+        h = gatelib.hadamard()
+        for q in range(self._num_qubits):
+            self.apply_gate([q], h)
+
+    def apply_gate(self, qubits: Sequence[int], gate: np.ndarray) -> None:
+        """Apply a 1- or 2-qubit unitary to the given target qubits.
+
+        Unlike the MPS simulator, targets of two-qubit gates do *not* need to
+        be adjacent, which is what lets tests compare routed MPS circuits
+        against unrouted dense circuits.
+        """
+        qubits = list(qubits)
+        gate = np.asarray(gate, dtype=np.complex128)
+        k = len(qubits)
+        if k not in (1, 2):
+            raise SimulationError(f"only 1- and 2-qubit gates supported, got {k}")
+        if gate.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"gate for {k} qubits must have shape {(2**k, 2**k)}, got {gate.shape}"
+            )
+        for q in qubits:
+            if not (0 <= q < self._num_qubits):
+                raise SimulationError(f"qubit {q} out of range")
+        if k == 2 and qubits[0] == qubits[1]:
+            raise SimulationError("two-qubit gate targets must be distinct")
+
+        gate_tensor = gate.reshape((2,) * (2 * k))
+        # Contract gate input axes with the state axes of the target qubits.
+        # gate_tensor axes: [out_0..out_{k-1}, in_0..in_{k-1}]
+        moved = np.tensordot(gate_tensor, self._state, axes=(list(range(k, 2 * k)), qubits))
+        # The contracted result has the gate output axes first, followed by the
+        # remaining state axes in their original relative order; move the
+        # output axes back to the target qubit positions.
+        self._state = np.moveaxis(moved, list(range(k)), qubits)
+        self._gates_applied += 1
+
+    def apply_circuit(self, circuit) -> None:
+        """Apply every operation of a :class:`repro.circuits.Circuit`."""
+        for op in circuit.operations:
+            self.apply_gate(op.qubits, op.matrix())
+
+    # ------------------------------------------------------------------
+    def inner_product(self, other: "StatevectorSimulator | np.ndarray") -> complex:
+        """``<self|other>`` against another simulator or a dense vector."""
+        if isinstance(other, StatevectorSimulator):
+            other_vec = other.statevector
+        else:
+            other_vec = np.asarray(other, dtype=np.complex128).ravel()
+        if other_vec.size != 2**self._num_qubits:
+            raise SimulationError("statevector size mismatch in inner product")
+        return complex(np.vdot(self.statevector, other_vec))
+
+    def fidelity(self, other: "StatevectorSimulator | np.ndarray") -> float:
+        """Squared overlap with another state."""
+        return float(abs(self.inner_product(other)) ** 2)
+
+    def norm(self) -> float:
+        """2-norm of the state."""
+        return float(np.linalg.norm(self._state))
+
+    def expectation_single(self, qubit: int, operator: np.ndarray) -> complex:
+        """Expectation value of a single-qubit operator."""
+        operator = np.asarray(operator, dtype=np.complex128)
+        if operator.shape != (2, 2):
+            raise SimulationError("operator must be 2x2")
+        bra = self._state
+        ket = np.tensordot(operator, self._state, axes=([1], [qubit]))
+        ket = np.moveaxis(ket, 0, qubit)
+        return complex(np.vdot(bra.reshape(-1), ket.reshape(-1)))
+
+
+def statevector_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared overlap ``|<a|b>|^2`` between two dense statevectors."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.size != b.size:
+        raise SimulationError("statevector size mismatch")
+    return float(abs(np.vdot(a, b)) ** 2)

@@ -1,0 +1,47 @@
+"""Support Vector Machine substrate.
+
+The paper feeds its quantum (and Gaussian-baseline) Gram matrices to a
+standard kernel SVM (scikit-learn's ``SVC`` with ``kernel="precomputed"``)
+and reports accuracy, precision, recall and ROC-AUC over a small grid of
+regularisation parameters ``C``.  This package provides those pieces from
+scratch:
+
+* :class:`~repro.svm.svc.PrecomputedKernelSVC` -- a binary kernel SVM trained
+  with an SMO-style working-set solver on a precomputed Gram matrix;
+* :mod:`~repro.svm.metrics` -- accuracy / precision / recall / ROC-AUC;
+* :mod:`~repro.svm.model_selection` -- train/test splitting and the best-AUC
+  C-grid scan used by every table and figure;
+* :mod:`~repro.svm.preprocessing` -- the (0, 2) feature scaler required by
+  the feature map.
+"""
+
+from .preprocessing import FeatureScaler, scale_to_interval
+from .metrics import (
+    accuracy_score,
+    precision_score,
+    recall_score,
+    f1_score,
+    roc_curve,
+    roc_auc_score,
+    confusion_matrix,
+    classification_report,
+)
+from .svc import PrecomputedKernelSVC
+from .model_selection import train_test_split, GridSearchResult, grid_search_c
+
+__all__ = [
+    "FeatureScaler",
+    "scale_to_interval",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_curve",
+    "roc_auc_score",
+    "confusion_matrix",
+    "classification_report",
+    "PrecomputedKernelSVC",
+    "train_test_split",
+    "GridSearchResult",
+    "grid_search_c",
+]

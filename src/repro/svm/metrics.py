@@ -1,0 +1,152 @@
+"""Binary-classification metrics: accuracy, precision, recall, ROC / AUC.
+
+The paper reports four metrics for every model (Tables II, III and the AUC
+curves of Figures 9-10): accuracy, recall, precision and the Area Under the
+ROC Curve.  All functions here take labels in ``{0, 1}`` (or ``{-1, +1}``,
+normalised internally) with 1 the "positive" (illicit) class.
+
+The ROC/AUC implementation follows the standard construction: sort by
+decision score descending, sweep the threshold, accumulate true/false
+positive rates, integrate with the trapezoidal rule.  Ties in the score are
+handled by grouping, which matches scikit-learn's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_curve",
+    "roc_auc_score",
+    "classification_report",
+]
+
+
+def _normalise_labels(y: np.ndarray) -> np.ndarray:
+    """Map labels in {-1, +1} or {0, 1} to {0, 1}; validate binary-ness."""
+    y = np.asarray(y).ravel()
+    if y.size == 0:
+        raise DataError("empty label array")
+    unique = set(np.unique(y).tolist())
+    if unique <= {0, 1}:
+        return y.astype(int)
+    if unique <= {-1, 1}:
+        return ((y + 1) // 2).astype(int)
+    if unique <= {0.0, 1.0} or unique <= {-1.0, 1.0}:
+        return _normalise_labels(y.astype(int))
+    raise DataError(f"labels must be binary in {{0,1}} or {{-1,1}}, got {sorted(unique)}")
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    yt = _normalise_labels(y_true)
+    yp = _normalise_labels(y_pred)
+    if yt.shape != yp.shape:
+        raise DataError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    return yt, yp
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]``."""
+    yt, yp = _validate_pair(y_true, y_pred)
+    tn = int(np.sum((yt == 0) & (yp == 0)))
+    fp = int(np.sum((yt == 0) & (yp == 1)))
+    fn = int(np.sum((yt == 1) & (yp == 0)))
+    tp = int(np.sum((yt == 1) & (yp == 1)))
+    return np.array([[tn, fp], [fn, tp]], dtype=int)
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    yt, yp = _validate_pair(y_true, y_pred)
+    return float(np.mean(yt == yp))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); returns 0.0 when no positives are predicted."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    denom = tp + fp
+    return float(tp / denom) if denom > 0 else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); returns 0.0 when there are no positive samples."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    denom = tp + fn
+    return float(tp / denom) if denom > 0 else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Receiver Operating Characteristic curve.
+
+    Returns ``(fpr, tpr, thresholds)`` where the first point is ``(0, 0)``
+    (threshold above every score) and the last is ``(1, 1)``.
+    """
+    yt = _normalise_labels(y_true)
+    scores = np.asarray(y_score, dtype=float).ravel()
+    if scores.shape != yt.shape:
+        raise DataError(f"shape mismatch: {yt.shape} vs {scores.shape}")
+    n_pos = int(np.sum(yt == 1))
+    n_neg = int(np.sum(yt == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("ROC curve requires both classes to be present")
+
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_labels = yt[order]
+
+    # Indices where the score value changes (threshold group boundaries).
+    distinct = np.where(np.diff(sorted_scores))[0]
+    threshold_idx = np.concatenate([distinct, [yt.size - 1]])
+
+    tps = np.cumsum(sorted_labels)[threshold_idx]
+    fps = (threshold_idx + 1) - tps
+
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[threshold_idx]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via trapezoidal integration."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray, y_score: np.ndarray | None = None
+) -> Dict[str, float]:
+    """All paper metrics in one dictionary.
+
+    ``y_score`` (continuous decision values) is needed for AUC; when it is
+    omitted the binary predictions are used as scores, which degrades AUC to
+    balanced accuracy but keeps the report well-defined.
+    """
+    scores = y_pred if y_score is None else y_score
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+        "auc": roc_auc_score(y_true, scores),
+    }

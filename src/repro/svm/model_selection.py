@@ -1,0 +1,171 @@
+"""Train/test splitting and the best-AUC regularisation scan.
+
+The paper reports, for every experiment, the metrics obtained at the best
+regularisation coefficient ``C`` out of a small grid in ``[0.01, 4]`` (AUC is
+the selection criterion).  :func:`grid_search_c` reproduces exactly that
+protocol on precomputed train / test Gram matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_C_GRID, make_rng
+from ..exceptions import DataError, SVMError
+from .metrics import classification_report, roc_auc_score
+from .svc import PrecomputedKernelSVC
+
+__all__ = ["train_test_split", "GridSearchResult", "grid_search_c"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) train/test split.
+
+    The paper uses an 80/20 split of a class-balanced sample; stratification
+    keeps both splits balanced too.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y).ravel()
+    if X.ndim != 2:
+        raise DataError(f"X must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
+    if y.size != n:
+        raise DataError(f"X has {n} rows but y has {y.size} labels")
+    if not (0.0 < test_fraction < 1.0):
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+
+    rng = make_rng(seed)
+    if stratify:
+        test_idx_parts: List[np.ndarray] = []
+        train_idx_parts: List[np.ndarray] = []
+        for cls in np.unique(y):
+            cls_idx = np.where(y == cls)[0]
+            cls_idx = rng.permutation(cls_idx)
+            n_test = max(1, int(round(test_fraction * cls_idx.size)))
+            if n_test >= cls_idx.size:
+                raise DataError(
+                    f"class {cls} has too few samples ({cls_idx.size}) for a "
+                    f"test fraction of {test_fraction}"
+                )
+            test_idx_parts.append(cls_idx[:n_test])
+            train_idx_parts.append(cls_idx[n_test:])
+        test_idx = np.concatenate(test_idx_parts)
+        train_idx = np.concatenate(train_idx_parts)
+    else:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(test_fraction * n)))
+        if n_test >= n:
+            raise DataError("test_fraction leaves no training data")
+        test_idx = perm[:n_test]
+        train_idx = perm[n_test:]
+
+    train_idx = rng.permutation(train_idx)
+    test_idx = rng.permutation(test_idx)
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a C-grid scan on precomputed kernels.
+
+    Attributes
+    ----------
+    best_C:
+        Regularisation value achieving the highest test AUC.
+    best_test_metrics / best_train_metrics:
+        Metric dictionaries (accuracy, precision, recall, f1, auc) for the
+        winning ``C``.
+    per_C:
+        Mapping ``C -> {"train": metrics, "test": metrics}`` for every grid
+        point, enabling the per-C curves some benchmarks report.
+    best_model:
+        The fitted :class:`PrecomputedKernelSVC` for the winning ``C``.
+    """
+
+    best_C: float
+    best_test_metrics: Dict[str, float]
+    best_train_metrics: Dict[str, float]
+    per_C: Dict[float, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    best_model: PrecomputedKernelSVC | None = None
+
+    @property
+    def best_test_auc(self) -> float:
+        """Convenience accessor for the headline metric."""
+        return self.best_test_metrics["auc"]
+
+
+def grid_search_c(
+    K_train: np.ndarray,
+    y_train: np.ndarray,
+    K_test: np.ndarray,
+    y_test: np.ndarray,
+    c_grid: Sequence[float] = DEFAULT_C_GRID,
+    tol: float = 1e-3,
+    selection_metric: str = "auc",
+) -> GridSearchResult:
+    """Fit one SVC per ``C`` and report the metrics of the best one.
+
+    Parameters
+    ----------
+    K_train:
+        ``(n_train, n_train)`` Gram matrix on the training data.
+    K_test:
+        ``(n_test, n_train)`` kernel between test and training data.
+    c_grid:
+        Regularisation values to scan (the paper uses ``[0.01, 4]``).
+    selection_metric:
+        Which *test-set* metric picks the winner; the paper uses AUC.
+    """
+    if not c_grid:
+        raise SVMError("c_grid must contain at least one value")
+    K_train = np.asarray(K_train, dtype=float)
+    K_test = np.asarray(K_test, dtype=float)
+    y_train = np.asarray(y_train).ravel()
+    y_test = np.asarray(y_test).ravel()
+    if K_test.shape[1] != K_train.shape[0]:
+        raise SVMError(
+            f"K_test has {K_test.shape[1]} columns but K_train is "
+            f"{K_train.shape[0]}x{K_train.shape[1]}"
+        )
+
+    per_C: Dict[float, Dict[str, Dict[str, float]]] = {}
+    best: Tuple[float, float, Dict[str, float], Dict[str, float], PrecomputedKernelSVC] | None = None
+
+    for C in c_grid:
+        model = PrecomputedKernelSVC(C=C, tol=tol)
+        model.fit(K_train, y_train)
+
+        train_scores = model.decision_function(K_train)
+        test_scores = model.decision_function(K_test)
+        train_metrics = classification_report(
+            y_train, model.predict(K_train), train_scores
+        )
+        test_metrics = classification_report(
+            y_test, model.predict(K_test), test_scores
+        )
+        per_C[float(C)] = {"train": train_metrics, "test": test_metrics}
+
+        score = test_metrics[selection_metric]
+        if best is None or score > best[1]:
+            best = (float(C), score, test_metrics, train_metrics, model)
+
+    assert best is not None
+    best_C, _, best_test, best_train, best_model = best
+    return GridSearchResult(
+        best_C=best_C,
+        best_test_metrics=best_test,
+        best_train_metrics=best_train,
+        per_C=per_C,
+        best_model=best_model,
+    )

@@ -1,0 +1,69 @@
+"""Unit tests for the ablation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    canonicalization_ablation,
+    strategy_duplication_factor,
+    truncation_cutoff_sweep,
+)
+from repro.config import AnsatzConfig
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=6, interaction_distance=2, layers=2, gamma=1.0)
+
+
+def test_truncation_sweep_accuracy_memory_tradeoff(ansatz):
+    cutoffs = (1e-16, 1e-8, 1e-3, 1e-1)
+    points = truncation_cutoff_sweep(ansatz, cutoffs, seed=1)
+    assert [p.cutoff for p in points] == list(cutoffs)
+    # Machine-precision point is numerically exact.
+    assert points[0].fidelity_vs_exact == pytest.approx(1.0, abs=1e-9)
+    # Memory (and chi) never increases as the cut-off is relaxed.
+    mems = [p.memory_bytes for p in points]
+    chis = [p.max_bond_dimension for p in points]
+    assert all(np.diff(mems) <= 0)
+    assert all(np.diff(chis) <= 0)
+    # Fidelity degrades (weakly) as the cut-off grows, and the loss stays
+    # in the same ballpark as the accumulated discarded weight.
+    fids = [p.fidelity_vs_exact for p in points]
+    assert all(np.diff(fids) <= 1e-9)
+    for p in points:
+        assert p.fidelity_vs_exact <= 1.0 + 1e-9
+        assert p.cumulative_discarded_weight >= 0.0
+
+
+def test_truncation_sweep_requires_cutoffs(ansatz):
+    with pytest.raises(SimulationError):
+        truncation_cutoff_sweep(ansatz, ())
+
+
+def test_canonicalization_ablation(ansatz):
+    result = canonicalization_ablation(ansatz, cutoff=5e-2, seed=2)
+    assert set(result) >= {
+        "fidelity_with_canonicalization",
+        "fidelity_without_canonicalization",
+        "discarded_with",
+        "discarded_without",
+    }
+    # Canonical truncation is locally optimal: it should not be (meaningfully)
+    # worse than the non-canonical variant.
+    assert (
+        result["fidelity_with_canonicalization"]
+        >= result["fidelity_without_canonicalization"] - 5e-2
+    )
+    assert 0.0 <= result["fidelity_with_canonicalization"] <= 1.0 + 1e-9
+
+
+def test_strategy_duplication_factor_grows_with_processes():
+    rows = strategy_duplication_factor(num_points=24, process_counts=(1, 4, 9))
+    factors = [r["duplication_factor"] for r in rows]
+    assert factors[0] >= 1.0
+    assert all(np.diff(factors) >= 0)
+    assert factors[-1] > factors[0]
+    for r in rows:
+        assert r["total_simulations"] >= 24

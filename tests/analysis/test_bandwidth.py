@@ -1,0 +1,50 @@
+"""Unit tests for the kernel-bandwidth study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bandwidth_study
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
+from repro.exceptions import KernelError
+
+
+@pytest.fixture(scope="module")
+def data():
+    dataset = generate_elliptic_like(DatasetSpec(num_samples=400, num_features=6, seed=8))
+    sample = balanced_subsample(dataset, 16, seed=1)
+    return sample.features, sample.labels
+
+
+def test_bandwidth_study_structure(data):
+    X, y = data
+    points = bandwidth_study(X, y, gammas=(0.05, 0.5, 2.0))
+    assert [p.gamma for p in points] == [0.05, 0.5, 2.0]
+    for p in points:
+        assert 0.0 <= p.off_diagonal_mean <= 1.0
+        assert p.off_diagonal_std >= 0.0
+        assert -1.0 <= p.alignment <= 1.0
+        assert p.max_bond_dimension >= 1
+        assert p.modelled_simulation_time_s > 0
+
+
+def test_larger_bandwidth_shrinks_overlaps(data):
+    X, y = data
+    points = bandwidth_study(X, y, gammas=(0.05, 2.0))
+    assert points[1].off_diagonal_mean < points[0].off_diagonal_mean
+
+
+def test_tiny_bandwidth_is_not_concentrated(data):
+    X, y = data
+    (point,) = bandwidth_study(X, y, gammas=(0.01,))
+    assert not point.is_concentrated
+    assert point.off_diagonal_mean > 0.5
+
+
+def test_validation(data):
+    X, y = data
+    with pytest.raises(KernelError):
+        bandwidth_study(X, y[:-1], gammas=(0.5,))
+    with pytest.raises(KernelError):
+        bandwidth_study(X, y, gammas=())
+    with pytest.raises(KernelError):
+        bandwidth_study(X, y, gammas=(0.5,), num_features=100)

@@ -1,0 +1,51 @@
+"""Unit tests for the entanglement diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bond_dimension_growth, entanglement_profile
+from repro.config import AnsatzConfig
+from repro.exceptions import SimulationError
+from repro.mps import MPS, gates
+
+
+def test_profile_of_product_state_is_trivial():
+    profile = entanglement_profile(MPS.plus_state(5))
+    assert profile.max_bond_dimension == 1
+    assert np.allclose(profile.entropies, 0.0, atol=1e-10)
+    assert profile.mean_entropy == pytest.approx(0.0, abs=1e-10)
+    assert np.all(profile.bond_dimensions == 1)
+
+
+def test_profile_of_bell_pair():
+    state = MPS.zero_state(2)
+    state.apply_single_qubit_gate(0, gates.hadamard())
+    state.apply_two_qubit_gate(0, gates.cnot())
+    profile = entanglement_profile(state)
+    assert profile.max_bond_dimension == 2
+    assert profile.peak_entropy == pytest.approx(np.log(2))
+    assert profile.memory_bytes == state.memory_bytes
+
+
+def test_profile_of_single_qubit():
+    profile = entanglement_profile(MPS.plus_state(1))
+    assert profile.entropies.size == 0
+    assert profile.mean_entropy == 0.0
+    assert profile.peak_entropy == 0.0
+
+
+def test_bond_dimension_growth_with_distance():
+    base = AnsatzConfig(num_features=8, interaction_distance=1, layers=2, gamma=1.0)
+    rows = bond_dimension_growth(base, distances=(1, 2, 3), num_samples=2, seed=3)
+    assert [r["interaction_distance"] for r in rows] == [1, 2, 3]
+    chis = [r["avg_max_chi"] for r in rows]
+    mems = [r["avg_memory_bytes"] for r in rows]
+    assert all(np.diff(chis) > 0)
+    assert all(np.diff(mems) > 0)
+    assert rows[-1]["avg_peak_entropy"] > rows[0]["avg_peak_entropy"]
+
+
+def test_bond_dimension_growth_validation():
+    base = AnsatzConfig(num_features=6)
+    with pytest.raises(SimulationError):
+        bond_dimension_growth(base, distances=(1,), num_samples=0)

@@ -1,0 +1,45 @@
+"""Unit tests for the backend registry."""
+
+import pytest
+
+from repro.backends import (
+    CpuBackend,
+    SimulatedGpuBackend,
+    available_backends,
+    get_backend,
+)
+from repro.backends.registry import register_backend
+from repro.config import SimulationConfig
+from repro.exceptions import BackendError
+
+
+def test_available_backends_lists_builtins():
+    names = available_backends()
+    assert "cpu" in names
+    assert "gpu" in names
+
+
+def test_get_backend_returns_correct_types():
+    assert isinstance(get_backend("cpu"), CpuBackend)
+    assert isinstance(get_backend("gpu"), SimulatedGpuBackend)
+
+
+def test_get_backend_passes_config():
+    config = SimulationConfig(truncation_cutoff=1e-12)
+    backend = get_backend("cpu", config)
+    assert backend.config.truncation_cutoff == 1e-12
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(BackendError):
+        get_backend("tpu")
+
+
+def test_register_custom_backend_and_duplicate_rejection():
+    name = "custom-test-backend"
+    if name not in available_backends():
+        register_backend(name, lambda config: CpuBackend(config))
+    assert name in available_backends()
+    assert isinstance(get_backend(name), CpuBackend)
+    with pytest.raises(BackendError):
+        register_backend(name, lambda config: CpuBackend(config))

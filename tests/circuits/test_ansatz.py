@@ -1,0 +1,146 @@
+"""Unit tests for the Ising feature-map ansatz builder."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    GateKind,
+    build_feature_map_circuit,
+    build_interaction_graph,
+    feature_map_angles,
+    rescale_features,
+)
+from repro.circuits.routing import is_routed
+from repro.config import AnsatzConfig
+from repro.exceptions import CircuitError
+
+
+def test_rescale_features_range():
+    x = np.array([-3.0, 0.0, 5.0, 2.0])
+    scaled = rescale_features(x)
+    assert scaled.min() == pytest.approx(0.0)
+    assert scaled.max() == pytest.approx(2.0)
+    # Monotone: order preserved.
+    assert np.all(np.argsort(scaled) == np.argsort(x))
+
+
+def test_rescale_constant_vector_maps_to_midpoint():
+    scaled = rescale_features(np.full(5, 3.3), lower=0.0, upper=2.0)
+    assert np.allclose(scaled, 1.0)
+
+
+def test_rescale_empty_raises():
+    with pytest.raises(CircuitError):
+        rescale_features(np.array([]))
+
+
+@pytest.mark.parametrize("m,d", [(5, 1), (6, 2), (8, 3), (4, 3)])
+def test_interaction_graph_edges(m, d):
+    g = build_interaction_graph(m, d)
+    assert g.number_of_nodes() == m
+    expected_edges = sum(1 for i in range(m) for j in range(i + 1, m) if j - i <= d)
+    assert g.number_of_edges() == expected_edges
+    for i, j in g.edges():
+        assert abs(i - j) <= d
+
+
+def test_interaction_graph_d1_is_path():
+    g = build_interaction_graph(6, 1)
+    path = nx.path_graph(6)
+    assert nx.is_isomorphic(g, path)
+
+
+def test_interaction_graph_validation():
+    with pytest.raises(CircuitError):
+        build_interaction_graph(0, 1)
+    with pytest.raises(CircuitError):
+        build_interaction_graph(4, 0)
+
+
+def test_feature_map_angles_formulas():
+    cfg = AnsatzConfig(num_features=3, interaction_distance=1, layers=1, gamma=0.5)
+    x = np.array([0.2, 1.0, 1.8])
+    angles = feature_map_angles(x, cfg)
+    # RZ angle: 2 * gamma * x_i
+    assert np.allclose(angles.rz_angles, 2 * 0.5 * x)
+    # RXX angle: gamma^2 * pi * (1 - x_i)(1 - x_j)
+    expected_01 = 0.25 * np.pi * (1 - 0.2) * (1 - 1.0)
+    expected_12 = 0.25 * np.pi * (1 - 1.0) * (1 - 1.8)
+    assert angles.rxx_angles[(0, 1)] == pytest.approx(expected_01)
+    assert angles.rxx_angles[(1, 2)] == pytest.approx(expected_12)
+    assert set(angles.rxx_angles) == {(0, 1), (1, 2)}
+
+
+def test_feature_map_angles_wrong_length():
+    cfg = AnsatzConfig(num_features=3)
+    with pytest.raises(CircuitError):
+        feature_map_angles(np.ones(4), cfg)
+
+
+def test_circuit_structure_counts():
+    m, d, r = 6, 2, 3
+    cfg = AnsatzConfig(num_features=m, interaction_distance=d, layers=r, gamma=1.0)
+    x = np.linspace(0.1, 1.9, m)
+    circuit = build_feature_map_circuit(x, cfg, routed=False)
+    # One H per qubit, r * m RZ gates, r * |E| RXX gates.
+    num_edges = build_interaction_graph(m, d).number_of_edges()
+    assert circuit.count_kind(GateKind.H) == m
+    assert circuit.count_kind(GateKind.RZ) == r * m
+    assert circuit.count_kind(GateKind.RXX) == r * num_edges
+    assert circuit.count_kind(GateKind.SWAP) == 0
+
+
+def test_routed_circuit_has_swaps_only_for_long_range():
+    cfg1 = AnsatzConfig(num_features=5, interaction_distance=1, layers=1, gamma=0.5)
+    x = np.linspace(0.1, 1.9, 5)
+    c1 = build_feature_map_circuit(x, cfg1, routed=True)
+    assert c1.count_kind(GateKind.SWAP) == 0
+    assert is_routed(c1)
+
+    cfg3 = AnsatzConfig(num_features=5, interaction_distance=3, layers=1, gamma=0.5)
+    c3 = build_feature_map_circuit(x, cfg3, routed=True)
+    assert c3.count_kind(GateKind.SWAP) > 0
+    assert is_routed(c3)
+
+
+def test_swap_count_matches_formula():
+    # An RXX at distance k costs 2 (k - 1) SWAPs.
+    m, d = 6, 3
+    cfg = AnsatzConfig(num_features=m, interaction_distance=d, layers=1, gamma=0.5)
+    x = np.linspace(0.1, 1.9, m)
+    routed = build_feature_map_circuit(x, cfg, routed=True)
+    graph = build_interaction_graph(m, d)
+    expected_swaps = sum(2 * (abs(i - j) - 1) for i, j in graph.edges())
+    assert routed.count_kind(GateKind.SWAP) == expected_swaps
+
+
+def test_state_prep_can_be_omitted():
+    cfg = AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.5)
+    x = np.linspace(0.1, 1.9, 4)
+    bare = build_feature_map_circuit(x, cfg, include_state_prep=False)
+    assert bare.count_kind(GateKind.H) == 0
+
+
+def test_gamma_scales_angles():
+    m = 4
+    x = np.linspace(0.3, 1.7, m)
+    small = feature_map_angles(x, AnsatzConfig(num_features=m, gamma=0.1))
+    large = feature_map_angles(x, AnsatzConfig(num_features=m, gamma=1.0))
+    assert np.all(np.abs(large.rz_angles) > np.abs(small.rz_angles))
+    for edge in small.rxx_angles:
+        assert abs(large.rxx_angles[edge]) >= abs(small.rxx_angles[edge])
+
+
+def test_scheduling_does_not_change_the_state():
+    cfg = AnsatzConfig(num_features=5, interaction_distance=2, layers=2, gamma=0.9)
+    x = np.linspace(0.1, 1.9, 5)
+    from repro.mps import MPS
+
+    scheduled = build_feature_map_circuit(x, cfg, scheduled=True)
+    unscheduled = build_feature_map_circuit(x, cfg, scheduled=False)
+    a = MPS.zero_state(5)
+    a.apply_circuit(scheduled)
+    b = MPS.zero_state(5)
+    b.apply_circuit(unscheduled)
+    assert a.fidelity(b) == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,84 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.circuits import Circuit, GateKind, Operation
+from repro.exceptions import CircuitError
+
+
+def test_empty_circuit():
+    c = Circuit(3)
+    assert c.num_qubits == 3
+    assert c.num_gates == 0
+    assert c.num_two_qubit_gates == 0
+    assert len(c) == 0
+    assert list(c) == []
+
+
+def test_invalid_width():
+    with pytest.raises(CircuitError):
+        Circuit(0)
+
+
+def test_add_and_counts():
+    c = Circuit(4)
+    c.add("H", 0)
+    c.add(GateKind.RZ, 1, angle=0.3)
+    c.add("RXX", (1, 2), angle=0.5, tag="HXX")
+    c.add("SWAP", (2, 3))
+    assert c.num_gates == 4
+    assert c.num_two_qubit_gates == 2
+    assert c.num_single_qubit_gates == 2
+    assert c.count_kind(GateKind.RXX) == 1
+    assert c.count_kind(GateKind.H) == 1
+    assert c[2].tag == "HXX"
+
+
+def test_append_rejects_out_of_range_targets():
+    c = Circuit(2)
+    with pytest.raises(CircuitError):
+        c.add("RZ", 2, angle=0.1)
+    with pytest.raises(CircuitError):
+        c.append(Operation(GateKind.RXX, (0, 5), angle=0.1))
+
+
+def test_extend_and_copy_and_equality():
+    ops = [
+        Operation(GateKind.H, (0,)),
+        Operation(GateKind.RXX, (0, 1), angle=0.2),
+    ]
+    a = Circuit(2, ops)
+    b = a.copy()
+    assert a == b
+    b.add("RZ", 0, angle=0.1)
+    assert a != b
+    assert a != "not a circuit"  # NotImplemented path falls back to False
+
+
+def test_remap_qubits():
+    c = Circuit(3)
+    c.add("RXX", (0, 1), angle=0.4)
+    remapped = c.remap_qubits({0: 2, 1: 0})
+    assert remapped[0].qubits == (2, 0)
+    assert remapped.num_qubits == 3
+
+
+def test_summary():
+    c = Circuit(2)
+    c.add("H", 0)
+    c.add("H", 1)
+    c.add("RXX", (0, 1), angle=0.3)
+    summary = c.summary()
+    assert summary["num_qubits"] == 2
+    assert summary["num_gates"] == 3
+    assert summary["num_two_qubit_gates"] == 1
+    assert summary["count_H"] == 2
+    assert summary["count_RXX"] == 1
+
+
+def test_iteration_order_matches_insertion():
+    c = Circuit(2)
+    c.add("H", 0)
+    c.add("H", 1)
+    kinds = [op.qubits for op in c]
+    assert kinds == [(0,), (1,)]

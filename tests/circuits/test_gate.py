@@ -1,0 +1,60 @@
+"""Unit tests for the Operation / GateKind IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import GateKind, Operation
+from repro.exceptions import CircuitError
+from repro.mps import gates
+
+
+def test_gate_kind_arity():
+    assert GateKind.H.num_qubits == 1
+    assert GateKind.RZ.num_qubits == 1
+    assert GateKind.RXX.num_qubits == 2
+    assert GateKind.SWAP.num_qubits == 2
+
+
+def test_gate_kind_parameterised_flag():
+    assert GateKind.RZ.is_parameterised
+    assert GateKind.RXX.is_parameterised
+    assert not GateKind.H.is_parameterised
+    assert not GateKind.SWAP.is_parameterised
+
+
+def test_operation_matrix_dispatch():
+    op = Operation(GateKind.RXX, (0, 1), angle=0.4)
+    assert np.allclose(op.matrix(), gates.rxx(0.4))
+    fixed = Operation(GateKind.H, (2,))
+    assert np.allclose(fixed.matrix(), gates.hadamard())
+
+
+def test_operation_validation():
+    with pytest.raises(CircuitError):
+        Operation(GateKind.RXX, (0,), angle=0.1)  # wrong arity
+    with pytest.raises(CircuitError):
+        Operation(GateKind.RZ, (0, 1), angle=0.1)  # wrong arity
+    with pytest.raises(CircuitError):
+        Operation(GateKind.RXX, (1, 1), angle=0.1)  # duplicate qubits
+    with pytest.raises(CircuitError):
+        Operation(GateKind.RZ, (-1,), angle=0.1)  # negative index
+    with pytest.raises(CircuitError):
+        Operation(GateKind.H, (0,), angle=0.5)  # angle on fixed gate
+
+
+def test_operation_is_frozen_and_hashable():
+    op = Operation(GateKind.RZ, (1,), angle=0.2)
+    assert op.is_two_qubit is False
+    assert hash(op) == hash(Operation(GateKind.RZ, (1,), angle=0.2))
+    with pytest.raises(AttributeError):
+        op.angle = 1.0  # type: ignore[misc]
+
+
+def test_operation_remap():
+    op = Operation(GateKind.RXX, (0, 3), angle=0.7, tag="HXX")
+    remapped = op.remap({0: 2, 3: 5})
+    assert remapped.qubits == (2, 5)
+    assert remapped.angle == 0.7
+    assert remapped.tag == "HXX"
+    # Unmapped qubits stay unchanged.
+    assert op.remap({}).qubits == (0, 3)

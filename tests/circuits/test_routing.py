@@ -1,0 +1,89 @@
+"""Unit tests for SWAP routing onto the linear chain."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GateKind, Operation
+from repro.circuits.routing import is_routed, route_to_linear_chain, swap_overhead
+from repro.exceptions import RoutingError
+from repro.mps import MPS
+from repro.statevector import StatevectorSimulator, statevector_fidelity
+
+
+def test_adjacent_gates_pass_through():
+    c = Circuit(3)
+    c.add("RXX", (0, 1), angle=0.3)
+    c.add("RZ", 2, angle=0.1)
+    routed = route_to_linear_chain(c)
+    assert routed.num_gates == 2
+    assert routed.count_kind(GateKind.SWAP) == 0
+    assert is_routed(routed)
+
+
+def test_long_range_gate_gets_swap_sandwich():
+    c = Circuit(4)
+    c.add("RXX", (0, 3), angle=0.5)
+    routed = route_to_linear_chain(c)
+    # distance 3 -> 2 * (3 - 1) = 4 SWAPs
+    assert routed.count_kind(GateKind.SWAP) == 4
+    assert routed.count_kind(GateKind.RXX) == 1
+    assert is_routed(routed)
+    assert swap_overhead(c) == 4
+
+
+def test_descending_symmetric_gate_is_normalised():
+    c = Circuit(3)
+    c.add("RXX", (2, 0), angle=0.4)
+    routed = route_to_linear_chain(c)
+    assert is_routed(routed)
+    rxx_ops = [op for op in routed if op.kind == GateKind.RXX]
+    assert rxx_ops[0].qubits == (1, 2)
+
+
+def test_descending_non_symmetric_gate_raises():
+    c = Circuit(3)
+    c.add("CNOT", (2, 0))
+    with pytest.raises(RoutingError):
+        route_to_linear_chain(c)
+
+
+def test_routing_preserves_unitary_action(rng):
+    """Routed circuit on the MPS equals the unrouted circuit on the dense sim."""
+    c = Circuit(5)
+    c.add("H", 0)
+    c.add("H", 2)
+    c.add("RXX", (0, 4), angle=0.7)
+    c.add("RZZ", (1, 3), angle=-0.4)
+    c.add("RXX", (2, 0), angle=0.9)
+    routed = route_to_linear_chain(c)
+
+    mps = MPS.zero_state(5)
+    mps.apply_circuit(routed)
+    sv = StatevectorSimulator(5)
+    sv.apply_circuit(c)
+    assert statevector_fidelity(mps.to_statevector(), sv.statevector) == pytest.approx(
+        1.0, abs=1e-10
+    )
+
+
+def test_is_routed_detects_unrouted():
+    c = Circuit(4)
+    c.add("RXX", (0, 2), angle=0.2)
+    assert not is_routed(c)
+
+
+def test_swap_overhead_ignores_existing_swaps_and_single_qubit():
+    c = Circuit(4)
+    c.add("SWAP", (0, 3))
+    c.add("RZ", 1, angle=0.3)
+    assert swap_overhead(c) == 0
+
+
+def test_routing_tags_inserted_swaps():
+    c = Circuit(4)
+    c.add("RXX", (0, 2), angle=0.5, tag="HXX")
+    routed = route_to_linear_chain(c)
+    swap_tags = {op.tag for op in routed if op.kind == GateKind.SWAP}
+    assert swap_tags == {"routing"}
+    rxx_tags = {op.tag for op in routed if op.kind == GateKind.RXX}
+    assert rxx_tags == {"HXX"}

@@ -1,0 +1,75 @@
+"""Unit tests for commuting-gate scheduling and depth measurement."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GateKind, Operation
+from repro.circuits.scheduling import circuit_depth, schedule_commuting_layers
+from repro.config import AnsatzConfig
+from repro.circuits.ansatz import build_feature_map_circuit, build_interaction_graph
+from repro.exceptions import CircuitError
+
+
+def _rxx(i, j, angle=0.1):
+    return Operation(GateKind.RXX, (i, j), angle=angle)
+
+
+def test_schedule_preserves_multiset_of_operations():
+    ops = [_rxx(0, 1), _rxx(2, 3), _rxx(1, 2), _rxx(0, 3)]
+    scheduled = schedule_commuting_layers(ops, 4)
+    assert sorted(op.qubits for op in scheduled) == sorted(op.qubits for op in ops)
+    assert len(scheduled) == len(ops)
+
+
+def test_schedule_reduces_depth_for_chain():
+    # Nearest-neighbour RXX on a chain of 6: naive order has depth 5,
+    # scheduled order achieves depth 2 (even/odd bonds).
+    ops = [_rxx(i, i + 1) for i in range(5)]
+    naive_depth = circuit_depth(ops)
+    scheduled = schedule_commuting_layers(ops, 6)
+    assert circuit_depth(scheduled) <= 2
+    assert naive_depth >= circuit_depth(scheduled)
+
+
+def test_schedule_rejects_out_of_range():
+    with pytest.raises(CircuitError):
+        schedule_commuting_layers([_rxx(0, 7)], 4)
+
+
+def test_depth_of_empty_and_single_gate():
+    assert circuit_depth([]) == 0
+    assert circuit_depth([_rxx(0, 1)]) == 1
+
+
+def test_depth_counts_sequential_dependencies():
+    ops = [_rxx(0, 1), _rxx(1, 2), _rxx(2, 3)]
+    assert circuit_depth(ops) == 3
+
+
+def test_depth_works_on_circuit_objects():
+    c = Circuit(3)
+    c.add("H", 0)
+    c.add("H", 1)
+    c.add("RXX", (0, 1), angle=0.3)
+    assert circuit_depth(c) == 2
+
+
+def test_hxx_block_depth_close_to_2d_bound():
+    """Paper footnote 3: the e^{-i H_XX} block can be realised in ~2d layers."""
+    m, d = 10, 2
+    graph = build_interaction_graph(m, d)
+    ops = [_rxx(i, j) for i, j in sorted(graph.edges())]
+    scheduled = schedule_commuting_layers(ops, m)
+    # Greedy packing is not guaranteed optimal; allow a small slack over 2d.
+    assert circuit_depth(scheduled) <= 2 * d + 2
+
+
+def test_full_ansatz_depth_grows_with_layers():
+    x = np.linspace(0.1, 1.9, 6)
+    shallow = build_feature_map_circuit(
+        x, AnsatzConfig(num_features=6, layers=1, gamma=0.5), routed=False
+    )
+    deep = build_feature_map_circuit(
+        x, AnsatzConfig(num_features=6, layers=4, gamma=0.5), routed=False
+    )
+    assert circuit_depth(deep) > circuit_depth(shallow)

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small balanced dataset reused by pipeline/integration tests."""
+    full = generate_elliptic_like(
+        DatasetSpec(num_samples=600, num_features=8, seed=11)
+    )
+    return balanced_subsample(full, 40, seed=3)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_ansatz():
+    """A 4-qubit ansatz cheap enough for exhaustive cross-validation."""
+    return AnsatzConfig(num_features=4, interaction_distance=2, layers=2, gamma=0.8)
+
+
+def random_statevector(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Normalised random complex statevector on ``num_qubits`` qubits."""
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-ish random unitary via QR of a complex Gaussian matrix."""
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(mat)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases

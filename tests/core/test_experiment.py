@@ -1,0 +1,77 @@
+"""Unit tests for the declarative classification experiments."""
+
+import pytest
+
+from repro.core import (
+    ClassificationExperiment,
+    ClassificationOutcome,
+    run_classification_experiment,
+)
+from repro.data import DatasetSpec, generate_elliptic_like
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_elliptic_like(DatasetSpec(num_samples=800, num_features=10, seed=1))
+
+
+def test_experiment_validation():
+    with pytest.raises(ConfigurationError):
+        ClassificationExperiment(num_features=4, sample_size=4)
+    with pytest.raises(ConfigurationError):
+        ClassificationExperiment(num_features=4, sample_size=33)
+    with pytest.raises(ConfigurationError):
+        ClassificationExperiment(num_features=4, sample_size=32, test_fraction=1.5)
+
+
+def test_experiment_ansatz_and_describe():
+    exp = ClassificationExperiment(
+        num_features=5, sample_size=24, interaction_distance=2, layers=3, gamma=0.5
+    )
+    ansatz = exp.ansatz()
+    assert ansatz.num_features == 5
+    assert ansatz.interaction_distance == 2
+    assert ansatz.layers == 3
+    desc = exp.describe()
+    assert desc["kernel"] == "quantum"
+    assert desc["gamma"] == 0.5
+
+
+def test_run_quantum_experiment(dataset):
+    exp = ClassificationExperiment(num_features=5, sample_size=24, gamma=0.5, seed=4)
+    outcome = run_classification_experiment(exp, dataset=dataset, c_grid=(1.0, 4.0))
+    assert isinstance(outcome, ClassificationOutcome)
+    assert 0.0 <= outcome.test_auc <= 1.0
+    assert 0.0 <= outcome.train_auc <= 1.0
+    row = outcome.row()
+    assert row["num_features"] == 5
+    assert set(row) >= {"auc", "recall", "precision", "accuracy", "best_C"}
+
+
+def test_run_gaussian_experiment(dataset):
+    exp = ClassificationExperiment(
+        num_features=5, sample_size=24, kernel="gaussian", seed=4
+    )
+    outcome = run_classification_experiment(exp, dataset=dataset, c_grid=(1.0,))
+    assert outcome.result.kernel_name == "gaussian"
+
+
+def test_run_without_dataset_generates_one():
+    exp = ClassificationExperiment(num_features=4, sample_size=16, gamma=0.5, seed=2)
+    outcome = run_classification_experiment(exp, c_grid=(1.0,))
+    assert 0.0 <= outcome.test_auc <= 1.0
+
+
+def test_feature_count_exceeding_dataset_raises(dataset):
+    exp = ClassificationExperiment(num_features=50, sample_size=16)
+    with pytest.raises(ConfigurationError):
+        run_classification_experiment(exp, dataset=dataset, c_grid=(1.0,))
+
+
+def test_reproducible_given_seed(dataset):
+    exp = ClassificationExperiment(num_features=5, sample_size=20, gamma=0.5, seed=9)
+    a = run_classification_experiment(exp, dataset=dataset, c_grid=(1.0,))
+    b = run_classification_experiment(exp, dataset=dataset, c_grid=(1.0,))
+    assert a.test_auc == pytest.approx(b.test_auc)
+    assert a.row() == b.row()

@@ -1,0 +1,63 @@
+"""Unit tests for the inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig
+from repro.core import QuantumKernelInferenceEngine
+from repro.data import select_features
+from repro.exceptions import SVMError
+from repro.svm import train_test_split
+
+
+@pytest.fixture
+def trained_engine(small_dataset):
+    X = select_features(small_dataset.features, 5)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, small_dataset.labels, test_fraction=0.25, seed=4
+    )
+    ansatz = AnsatzConfig(num_features=5, interaction_distance=1, layers=2, gamma=0.5)
+    engine = QuantumKernelInferenceEngine(ansatz, C=2.0)
+    engine.fit(X_train, y_train)
+    return engine, X_test, y_test
+
+
+def test_fit_stores_training_states(trained_engine):
+    engine, X_test, _ = trained_engine
+    assert engine.is_fitted
+    assert engine.num_training_states > 0
+
+
+def test_predict_shapes_and_values(trained_engine):
+    engine, X_test, y_test = trained_engine
+    result = engine.kernel_rows(X_test)
+    assert result.num_points == X_test.shape[0]
+    assert result.kernel_rows.shape == (X_test.shape[0], engine.num_training_states)
+    assert np.all(result.kernel_rows >= -1e-12)
+    assert np.all(result.kernel_rows <= 1.0 + 1e-12)
+    assert set(np.unique(result.predictions)) <= {0, 1}
+    assert result.decision_values.shape == result.predictions.shape
+    assert result.num_inner_products == X_test.shape[0] * engine.num_training_states
+    # predict / decision_function are consistent with kernel_rows.
+    assert np.array_equal(engine.predict(X_test), result.predictions)
+
+
+def test_inference_learns_something(trained_engine):
+    engine, X_test, y_test = trained_engine
+    from repro.svm import roc_auc_score
+
+    auc = roc_auc_score(y_test, engine.decision_function(X_test))
+    assert auc > 0.6
+
+
+def test_single_point_inference(trained_engine):
+    engine, X_test, _ = trained_engine
+    single = engine.predict(X_test[0])
+    assert single.shape == (1,)
+
+
+def test_unfitted_engine_raises(small_dataset):
+    ansatz = AnsatzConfig(num_features=5)
+    engine = QuantumKernelInferenceEngine(ansatz)
+    with pytest.raises(SVMError):
+        engine.predict(np.ones((1, 5)))

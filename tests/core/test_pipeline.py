@@ -1,0 +1,94 @@
+"""Unit tests for the end-to-end classification pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.backends import SimulatedGpuBackend
+from repro.config import AnsatzConfig
+from repro.core import PipelineResult, QuantumKernelPipeline
+from repro.exceptions import ConfigurationError, DataError
+
+
+@pytest.fixture
+def split(small_dataset):
+    from repro.svm import train_test_split
+    from repro.data import select_features
+
+    X = select_features(small_dataset.features, 6)
+    return train_test_split(X, small_dataset.labels, test_fraction=0.25, seed=2)
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=6, interaction_distance=1, layers=2, gamma=0.5)
+
+
+def test_quantum_pipeline_runs(split, ansatz):
+    X_train, X_test, y_train, y_test = split
+    pipeline = QuantumKernelPipeline(ansatz, c_grid=(0.5, 1.0, 4.0))
+    result = pipeline.run(X_train, y_train, X_test, y_test)
+    assert isinstance(result, PipelineResult)
+    assert result.kernel_name == "quantum"
+    assert 0.0 <= result.test_auc <= 1.0
+    assert result.best_C in (0.5, 1.0, 4.0)
+    n_train, n_test = X_train.shape[0], X_test.shape[0]
+    assert result.train_kernel.shape == (n_train, n_train)
+    assert result.test_kernel.shape == (n_test, n_train)
+    assert result.resource_metrics["num_simulations"] == n_train + n_test
+    assert result.resource_metrics["max_bond_dimension"] >= 1
+    assert "off_diagonal_mean" in result.kernel_diagnostics
+    assert set(result.test_metrics) == {"accuracy", "precision", "recall", "f1", "auc"}
+
+
+def test_quantum_pipeline_learns_something(split, ansatz):
+    """On the synthetic fraud data the quantum kernel should beat chance."""
+    X_train, X_test, y_train, y_test = split
+    result = QuantumKernelPipeline(ansatz, c_grid=(1.0, 4.0)).run(
+        X_train, y_train, X_test, y_test
+    )
+    assert result.test_auc > 0.6
+
+
+def test_gaussian_pipeline(split, ansatz):
+    X_train, X_test, y_train, y_test = split
+    pipeline = QuantumKernelPipeline(ansatz, kernel="gaussian", c_grid=(1.0,))
+    result = pipeline.run(X_train, y_train, X_test, y_test)
+    assert result.kernel_name == "gaussian"
+    assert result.resource_metrics == {}
+    assert result.test_auc > 0.6
+
+
+def test_projected_pipeline(split, ansatz):
+    X_train, X_test, y_train, y_test = split
+    pipeline = QuantumKernelPipeline(ansatz, kernel="projected", c_grid=(1.0,))
+    result = pipeline.run(X_train, y_train, X_test, y_test)
+    assert result.kernel_name == "projected"
+    assert 0.0 <= result.test_auc <= 1.0
+
+
+def test_pipeline_with_gpu_backend_matches_cpu(split, ansatz):
+    """Backend choice changes timing, never results."""
+    X_train, X_test, y_train, y_test = split
+    cpu = QuantumKernelPipeline(ansatz, c_grid=(1.0,)).run(
+        X_train, y_train, X_test, y_test
+    )
+    gpu = QuantumKernelPipeline(
+        ansatz, backend=SimulatedGpuBackend(), c_grid=(1.0,)
+    ).run(X_train, y_train, X_test, y_test)
+    assert np.allclose(cpu.train_kernel, gpu.train_kernel, atol=1e-12)
+    assert cpu.test_auc == pytest.approx(gpu.test_auc)
+
+
+def test_pipeline_validation(ansatz, rng):
+    pipeline = QuantumKernelPipeline(ansatz, c_grid=(1.0,))
+    X = rng.normal(size=(10, 6))
+    y = np.array([0, 1] * 5)
+    with pytest.raises(DataError):
+        pipeline.run(X, y[:-1], X, y)  # label mismatch
+    with pytest.raises(DataError):
+        pipeline.run(X, y, rng.normal(size=(4, 5)), np.array([0, 1, 0, 1]))  # width
+    with pytest.raises(DataError):
+        pipeline.run(rng.normal(size=(10, 3)), y, rng.normal(size=(4, 3)),
+                     np.array([0, 1, 0, 1]))  # ansatz mismatch
+    with pytest.raises(ConfigurationError):
+        QuantumKernelPipeline(ansatz, kernel="polynomial")

@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic Elliptic-like dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSpec, EllipticLikeDataset, generate_elliptic_like
+from repro.exceptions import DataError
+
+
+def test_default_spec_shape_and_imbalance():
+    data = generate_elliptic_like(DatasetSpec(num_samples=1000, num_features=20))
+    assert data.features.shape == (1000, 20)
+    assert data.labels.shape == (1000,)
+    assert set(np.unique(data.labels)) == {0, 1}
+    # Class imbalance close to the Elliptic 9.76% positive rate.
+    assert 0.05 < data.class_balance < 0.15
+    assert data.num_positive + data.num_negative == 1000
+
+
+def test_deterministic_given_seed():
+    spec = DatasetSpec(num_samples=300, num_features=10, seed=5)
+    a = generate_elliptic_like(spec)
+    b = generate_elliptic_like(spec)
+    assert np.array_equal(a.features, b.features)
+    assert np.array_equal(a.labels, b.labels)
+    c = generate_elliptic_like(DatasetSpec(num_samples=300, num_features=10, seed=6))
+    assert not np.array_equal(a.features, c.features)
+
+
+def test_feature_importance_is_graded():
+    data = generate_elliptic_like(
+        DatasetSpec(num_samples=200, num_features=30, informative_fraction=0.5)
+    )
+    imp = data.feature_importance
+    assert imp.shape == (30,)
+    n_informative = int(np.sum(imp > 0))
+    assert n_informative == 15
+    # Informative features are ordered by decreasing importance.
+    informative = imp[:n_informative]
+    assert np.all(np.diff(informative) <= 0)
+    # Noise features carry no importance.
+    assert np.allclose(imp[n_informative:], 0.0)
+
+
+def test_informative_features_are_class_separating():
+    """The leading feature should separate classes better than a noise feature."""
+    data = generate_elliptic_like(
+        DatasetSpec(num_samples=3000, num_features=40, informative_fraction=0.5, seed=0)
+    )
+    X, y = data.features, data.labels
+
+    def cohen_d(col):
+        a, b = col[y == 1], col[y == 0]
+        pooled = np.sqrt((a.var() + b.var()) / 2)
+        return abs(a.mean() - b.mean()) / pooled if pooled > 0 else 0.0
+
+    assert cohen_d(X[:, 0]) > cohen_d(X[:, -1]) + 0.2
+
+
+def test_subset():
+    data = generate_elliptic_like(DatasetSpec(num_samples=100, num_features=5))
+    sub = data.subset(np.arange(10))
+    assert sub.num_samples == 10
+    assert sub.num_features == 5
+    assert np.array_equal(sub.features, data.features[:10])
+
+
+def test_spec_validation():
+    with pytest.raises(DataError):
+        DatasetSpec(num_samples=2)
+    with pytest.raises(DataError):
+        DatasetSpec(num_features=0)
+    with pytest.raises(DataError):
+        DatasetSpec(positive_fraction=0.0)
+    with pytest.raises(DataError):
+        DatasetSpec(positive_fraction=1.5)
+    with pytest.raises(DataError):
+        DatasetSpec(informative_fraction=0.0)
+    with pytest.raises(DataError):
+        DatasetSpec(cluster_count=0)
+    with pytest.raises(DataError):
+        DatasetSpec(noise_scale=-1.0)
+
+
+def test_dataset_validation():
+    with pytest.raises(DataError):
+        EllipticLikeDataset(
+            features=np.ones(5), labels=np.ones(5), spec=DatasetSpec()
+        )
+    with pytest.raises(DataError):
+        EllipticLikeDataset(
+            features=np.ones((5, 2)), labels=np.ones(4), spec=DatasetSpec()
+        )
+
+
+def test_all_features_finite():
+    data = generate_elliptic_like(DatasetSpec(num_samples=500, num_features=165))
+    assert np.all(np.isfinite(data.features))
+    assert data.num_features == 165
+
+
+def test_fully_informative_dataset():
+    data = generate_elliptic_like(
+        DatasetSpec(num_samples=100, num_features=4, informative_fraction=1.0)
+    )
+    assert data.features.shape == (100, 4)
+    assert np.all(data.feature_importance > 0)

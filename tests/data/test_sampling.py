@@ -1,0 +1,71 @@
+"""Unit tests for balanced sampling and feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetSpec,
+    balanced_subsample,
+    generate_elliptic_like,
+    select_features,
+    stratified_indices,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_elliptic_like(DatasetSpec(num_samples=2000, num_features=12, seed=3))
+
+
+def test_stratified_indices_counts(dataset):
+    idx = stratified_indices(dataset.labels, per_class=50, seed=0)
+    assert idx.size == 100
+    labels = dataset.labels[idx]
+    assert np.sum(labels == 0) == 50
+    assert np.sum(labels == 1) == 50
+    assert np.unique(idx).size == 100  # no repeats
+
+
+def test_stratified_indices_insufficient_class(dataset):
+    n_pos = dataset.num_positive
+    with pytest.raises(DataError):
+        stratified_indices(dataset.labels, per_class=n_pos + 1)
+
+
+def test_balanced_subsample_balance_and_size(dataset):
+    sample = balanced_subsample(dataset, 120, seed=1)
+    assert sample.num_samples == 120
+    assert sample.num_positive == 60
+    assert sample.num_negative == 60
+    assert sample.num_features == dataset.num_features
+
+
+def test_balanced_subsample_reproducible(dataset):
+    a = balanced_subsample(dataset, 60, seed=9)
+    b = balanced_subsample(dataset, 60, seed=9)
+    assert np.array_equal(a.features, b.features)
+    c = balanced_subsample(dataset, 60, seed=10)
+    assert not np.array_equal(a.features, c.features)
+
+
+def test_balanced_subsample_validation(dataset):
+    with pytest.raises(DataError):
+        balanced_subsample(dataset, 1)
+    with pytest.raises(DataError):
+        balanced_subsample(dataset, 31)  # odd
+
+
+def test_select_features_prefix(dataset):
+    X = select_features(dataset.features, 5)
+    assert X.shape == (dataset.num_samples, 5)
+    assert np.array_equal(X, dataset.features[:, :5])
+
+
+def test_select_features_validation(dataset):
+    with pytest.raises(DataError):
+        select_features(dataset.features, 0)
+    with pytest.raises(DataError):
+        select_features(dataset.features, dataset.num_features + 1)
+    with pytest.raises(DataError):
+        select_features(dataset.features[0], 2)

@@ -1,0 +1,72 @@
+"""Unit tests for the kernel diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelError
+from repro.kernels import (
+    effective_dimension,
+    is_positive_semidefinite,
+    kernel_alignment,
+    kernel_concentration,
+    kernel_spectrum,
+)
+
+
+def test_concentration_of_identity_kernel():
+    stats = kernel_concentration(np.eye(4))
+    assert stats["off_diagonal_mean"] == 0.0
+    assert stats["off_diagonal_std"] == 0.0
+    assert stats["relative_spread"] == 0.0
+
+
+def test_concentration_statistics_values():
+    K = np.array([[1.0, 0.5, 0.1], [0.5, 1.0, 0.3], [0.1, 0.3, 1.0]])
+    stats = kernel_concentration(K)
+    off = np.array([0.5, 0.1, 0.5, 0.3, 0.1, 0.3])
+    assert stats["off_diagonal_mean"] == pytest.approx(off.mean())
+    assert stats["off_diagonal_std"] == pytest.approx(off.std())
+    assert stats["off_diagonal_min"] == 0.1
+    assert stats["off_diagonal_max"] == 0.5
+
+
+def test_concentration_validation():
+    with pytest.raises(KernelError):
+        kernel_concentration(np.ones((2, 3)))
+    with pytest.raises(KernelError):
+        kernel_concentration(np.ones((1, 1)))
+
+
+def test_alignment_perfect_and_poor():
+    y = np.array([1, 1, 0, 0])
+    y_signed = np.where(y > 0, 1.0, -1.0)
+    ideal = np.outer(y_signed, y_signed)
+    assert kernel_alignment(ideal, y) == pytest.approx(1.0)
+    # A constant kernel has alignment equal to the label-imbalance overlap.
+    flat = np.ones((4, 4))
+    assert kernel_alignment(flat, y) == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(KernelError):
+        kernel_alignment(ideal, y[:2])
+
+
+def test_psd_check():
+    assert is_positive_semidefinite(np.eye(3))
+    not_psd = np.array([[1.0, 2.0], [2.0, 1.0]])
+    assert not is_positive_semidefinite(not_psd)
+
+
+def test_spectrum_descending_and_trace():
+    K = np.diag([3.0, 1.0, 2.0])
+    spec = kernel_spectrum(K)
+    assert np.allclose(spec, [3.0, 2.0, 1.0])
+    assert spec.sum() == pytest.approx(np.trace(K))
+
+
+def test_effective_dimension():
+    K = np.diag([10.0, 1.0, 0.1, 0.01])
+    assert effective_dimension(K, threshold=0.89) == 1
+    assert effective_dimension(K, threshold=0.99) == 2
+    assert effective_dimension(np.eye(5), threshold=1.0) == 5
+    with pytest.raises(KernelError):
+        effective_dimension(K, threshold=0.0)
+    assert effective_dimension(np.zeros((3, 3))) == 0

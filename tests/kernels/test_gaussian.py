@@ -1,0 +1,93 @@
+"""Unit tests for the Gaussian RBF baseline kernel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelError
+from repro.kernels import (
+    GaussianKernel,
+    gaussian_gram_matrix,
+    median_heuristic_bandwidth,
+)
+from repro.kernels.gaussian import scale_bandwidth
+
+
+def test_gram_matrix_properties(rng):
+    X = rng.normal(size=(10, 4))
+    K = gaussian_gram_matrix(X)
+    assert K.shape == (10, 10)
+    assert np.allclose(np.diag(K), 1.0)
+    assert np.allclose(K, K.T)
+    assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+    eigvals = np.linalg.eigvalsh(K)
+    assert eigvals.min() > -1e-10
+
+
+def test_kernel_value_formula():
+    X = np.array([[0.0, 0.0], [1.0, 1.0]])
+    K = gaussian_gram_matrix(X, alpha=0.5)
+    assert K[0, 1] == pytest.approx(np.exp(-0.5 * 2.0))
+
+
+def test_cross_matrix_shape(rng):
+    A = rng.normal(size=(6, 3))
+    B = rng.normal(size=(4, 3))
+    K = gaussian_gram_matrix(A, B, alpha=1.0)
+    assert K.shape == (6, 4)
+
+
+def test_scale_bandwidth_matches_paper_convention(rng):
+    X = rng.normal(size=(50, 8)) * 2.0
+    alpha = scale_bandwidth(X)
+    assert alpha == pytest.approx(1.0 / (8 * np.var(X)))
+    # Constant data falls back to 1/m.
+    assert scale_bandwidth(np.ones((5, 4))) == pytest.approx(0.25)
+
+
+def test_median_heuristic(rng):
+    X = rng.normal(size=(20, 3))
+    beta = median_heuristic_bandwidth(X)
+    assert beta > 0
+    with pytest.raises(KernelError):
+        median_heuristic_bandwidth(X[:1])
+
+
+def test_validation():
+    with pytest.raises(KernelError):
+        gaussian_gram_matrix(np.ones(4))
+    with pytest.raises(KernelError):
+        gaussian_gram_matrix(np.ones((3, 2)), np.ones((3, 4)))
+    with pytest.raises(KernelError):
+        gaussian_gram_matrix(np.ones((3, 2)), alpha=0.0)
+
+
+def test_stateful_kernel_api(rng):
+    X_train = rng.normal(size=(12, 5))
+    X_test = rng.normal(size=(4, 5))
+    gk = GaussianKernel()
+    K_train, K_test = gk.train_test_matrices(X_train, X_test)
+    assert K_train.shape == (12, 12)
+    assert K_test.shape == (4, 12)
+    assert gk.bandwidth == pytest.approx(scale_bandwidth(X_train))
+    # Explicit bandwidth is honoured.
+    gk2 = GaussianKernel(alpha=0.3).fit(X_train)
+    assert gk2.bandwidth == 0.3
+
+
+def test_stateful_kernel_requires_fit(rng):
+    gk = GaussianKernel()
+    with pytest.raises(KernelError):
+        gk.cross_matrix(rng.normal(size=(2, 3)))
+    with pytest.raises(KernelError):
+        gk.gram_matrix()
+    with pytest.raises(KernelError):
+        _ = gk.bandwidth
+    with pytest.raises(KernelError):
+        gk.fit(np.ones(3))
+
+
+def test_distance_monotonicity():
+    """Closer points have larger kernel values."""
+    X = np.array([[0.0], [0.5], [3.0]])
+    K = gaussian_gram_matrix(X, alpha=1.0)
+    assert K[0, 1] > K[0, 2]

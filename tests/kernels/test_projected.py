@@ -1,0 +1,80 @@
+"""Unit tests for the projected quantum kernel."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig
+from repro.exceptions import KernelError
+from repro.kernels import ProjectedQuantumKernel, is_positive_semidefinite
+from repro.mps import MPS
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.6)
+
+
+def test_projection_shape_and_range(ansatz, rng):
+    X = rng.uniform(0.1, 1.9, size=(3, 4))
+    pk = ProjectedQuantumKernel(ansatz)
+    proj = pk.project(X)
+    assert proj.shape == (3, 12)  # 3 Paulis per qubit
+    # Pauli expectation values lie in [-1, 1].
+    assert np.all(proj >= -1.0 - 1e-9) and np.all(proj <= 1.0 + 1e-9)
+
+
+def test_project_state_of_plus_state(ansatz):
+    pk = ProjectedQuantumKernel(ansatz)
+    values = pk.project_state(MPS.plus_state(4))
+    # For |+>: <X> = 1, <Y> = <Z> = 0 on every qubit.
+    values = values.reshape(4, 3)
+    assert np.allclose(values[:, 0], 1.0)
+    assert np.allclose(values[:, 1:], 0.0, atol=1e-12)
+
+
+def test_gram_and_cross_matrices(ansatz, rng):
+    X_train = rng.uniform(0.1, 1.9, size=(5, 4))
+    X_test = rng.uniform(0.1, 1.9, size=(2, 4))
+    pk = ProjectedQuantumKernel(ansatz)
+    pk.fit(X_train)
+    K = pk.gram_matrix()
+    K_test = pk.cross_matrix(X_test)
+    assert K.shape == (5, 5)
+    assert K_test.shape == (2, 5)
+    assert np.allclose(np.diag(K), 1.0)
+    assert np.allclose(K, K.T)
+    assert is_positive_semidefinite(K)
+
+
+def test_explicit_beta_is_used(ansatz, rng):
+    X = rng.uniform(0.1, 1.9, size=(4, 4))
+    pk = ProjectedQuantumKernel(ansatz, beta=2.5)
+    pk.fit(X)
+    assert pk._beta_resolved == 2.5
+
+
+def test_unfitted_usage_raises(ansatz, rng):
+    pk = ProjectedQuantumKernel(ansatz)
+    with pytest.raises(KernelError):
+        pk.gram_matrix()
+    with pytest.raises(KernelError):
+        pk.cross_matrix(rng.uniform(0.1, 1.9, size=(2, 4)))
+    with pytest.raises(KernelError):
+        pk.project(np.ones((2, 3)))  # wrong feature count
+
+
+def test_projected_kernel_resists_depth_concentration(rng):
+    """Extension check: the projected kernel keeps more off-diagonal spread
+    than the fidelity kernel at large depth."""
+    from repro.kernels import QuantumKernel, kernel_concentration
+
+    deep = AnsatzConfig(num_features=4, layers=8, gamma=1.0)
+    X = rng.uniform(0.1, 1.9, size=(5, 4))
+    fidelity_K = QuantumKernel(deep).gram_matrix(X).matrix
+    pk = ProjectedQuantumKernel(deep)
+    pk.fit(X)
+    projected_K = pk.gram_matrix()
+    assert (
+        kernel_concentration(projected_K)["off_diagonal_mean"]
+        > kernel_concentration(fidelity_K)["off_diagonal_mean"]
+    )

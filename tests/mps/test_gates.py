@@ -1,0 +1,147 @@
+"""Unit tests for the gate-matrix zoo."""
+
+import numpy as np
+import pytest
+
+from repro.mps import gates
+
+
+ALL_FIXED = [
+    gates.identity2,
+    gates.pauli_x,
+    gates.pauli_y,
+    gates.pauli_z,
+    gates.hadamard,
+    gates.swap,
+    gates.cnot,
+    gates.controlled_z,
+]
+
+PARAMETERISED = [gates.rx, gates.ry, gates.rz, gates.rxx, gates.ryy, gates.rzz]
+
+
+@pytest.mark.parametrize("factory", ALL_FIXED)
+def test_fixed_gates_are_unitary(factory):
+    assert gates.is_unitary(factory())
+
+
+@pytest.mark.parametrize("factory", PARAMETERISED)
+@pytest.mark.parametrize("theta", [0.0, 0.3, np.pi / 2, np.pi, 2 * np.pi, -1.7])
+def test_parameterised_gates_are_unitary(factory, theta):
+    assert gates.is_unitary(factory(theta))
+
+
+@pytest.mark.parametrize("factory", PARAMETERISED)
+def test_zero_angle_rotation_is_identity(factory):
+    gate = factory(0.0)
+    ident = np.eye(gate.shape[0])
+    assert np.allclose(gate, ident)
+
+
+def test_pauli_algebra():
+    x, y, z = gates.pauli_x(), gates.pauli_y(), gates.pauli_z()
+    ident = gates.identity2()
+    assert np.allclose(x @ x, ident)
+    assert np.allclose(y @ y, ident)
+    assert np.allclose(z @ z, ident)
+    # XY = iZ and cyclic permutations.
+    assert np.allclose(x @ y, 1j * z)
+    assert np.allclose(y @ z, 1j * x)
+    assert np.allclose(z @ x, 1j * y)
+
+
+def test_hadamard_maps_zero_to_plus():
+    plus = gates.hadamard() @ np.array([1.0, 0.0])
+    assert np.allclose(plus, np.array([1.0, 1.0]) / np.sqrt(2))
+
+
+def test_rz_matches_exponential():
+    theta = 0.731
+    expected = np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)])
+    assert np.allclose(gates.rz(theta), expected)
+
+
+def test_rxx_matches_exponential():
+    theta = 1.234
+    xx = np.kron(gates.pauli_x(), gates.pauli_x())
+    expected = (
+        np.cos(theta / 2) * np.eye(4) - 1j * np.sin(theta / 2) * xx
+    )
+    assert np.allclose(gates.rxx(theta), expected)
+
+
+def test_rxx_is_symmetric_under_qubit_exchange():
+    theta = 0.9
+    m = gates.rxx(theta)
+    swap = gates.swap()
+    assert np.allclose(swap @ m @ swap, m)
+
+
+def test_rxx_gates_commute():
+    a = gates.rxx(0.4)
+    b = gates.rxx(1.3)
+    assert np.allclose(a @ b, b @ a)
+
+
+def test_rotation_composition_adds_angles():
+    a, b = 0.35, 1.2
+    assert np.allclose(gates.rz(a) @ gates.rz(b), gates.rz(a + b))
+    assert np.allclose(gates.rxx(a) @ gates.rxx(b), gates.rxx(a + b))
+
+
+def test_swap_swaps_basis_states():
+    swap = gates.swap()
+    # |01> -> |10>
+    v01 = np.zeros(4)
+    v01[1] = 1.0
+    v10 = np.zeros(4)
+    v10[2] = 1.0
+    assert np.allclose(swap @ v01, v10)
+    assert np.allclose(swap @ swap, np.eye(4))
+
+
+def test_cnot_flips_target_when_control_set():
+    cnot = gates.cnot()
+    # |10> -> |11>
+    v = np.zeros(4)
+    v[2] = 1.0
+    out = cnot @ v
+    expected = np.zeros(4)
+    expected[3] = 1.0
+    assert np.allclose(out, expected)
+
+
+def test_kron_builds_multiqubit_operators():
+    xx = gates.kron(gates.pauli_x(), gates.pauli_x())
+    assert xx.shape == (4, 4)
+    assert np.allclose(xx, np.kron(gates.pauli_x(), gates.pauli_x()))
+    triple = gates.kron(gates.identity2(), gates.pauli_z(), gates.identity2())
+    assert triple.shape == (8, 8)
+
+
+def test_gate_fidelity_detects_equality_and_difference():
+    assert gates.gate_fidelity(gates.rx(0.5), gates.rx(0.5)) == pytest.approx(1.0)
+    # Global phase is ignored.
+    assert gates.gate_fidelity(
+        gates.rz(0.5), np.exp(1j * 0.3) * gates.rz(0.5)
+    ) == pytest.approx(1.0)
+    assert gates.gate_fidelity(gates.pauli_x(), gates.pauli_z()) == pytest.approx(0.0)
+
+
+def test_gate_fidelity_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        gates.gate_fidelity(gates.pauli_x(), gates.swap())
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not gates.is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))
+    assert not gates.is_unitary(np.ones((2, 3)))
+    assert not gates.is_unitary(np.ones(3))
+
+
+def test_phase_gate():
+    theta = 0.77
+    p = gates.phase(theta)
+    assert gates.is_unitary(p)
+    assert p[0, 0] == pytest.approx(1.0)
+    assert p[1, 1] == pytest.approx(np.exp(1j * theta))

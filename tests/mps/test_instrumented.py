@@ -1,0 +1,77 @@
+"""Unit tests for the instrumented MPS and memory traces."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_feature_map_circuit
+from repro.config import AnsatzConfig
+from repro.mps import InstrumentedMPS, MemoryTrace, MemorySample, gates
+
+
+def test_trace_records_every_gate():
+    mps = InstrumentedMPS.plus_state(4)
+    mps.apply_single_qubit_gate(0, gates.rz(0.3))
+    mps.apply_two_qubit_gate(1, gates.rxx(0.7))
+    assert len(mps.trace) == 2
+    samples = list(mps.trace)
+    assert samples[0].is_two_qubit is False
+    assert samples[1].is_two_qubit is True
+    assert samples[1].gate_index == 2
+
+
+def test_trace_memory_matches_state():
+    mps = InstrumentedMPS.plus_state(5)
+    for q in range(4):
+        mps.apply_two_qubit_gate(q, gates.rxx(0.9))
+    last = mps.trace.samples[-1]
+    assert last.memory_bytes == mps.memory_bytes
+    assert last.max_bond_dimension == mps.max_bond_dimension
+    assert last.memory_mib == pytest.approx(mps.memory_bytes / 2**20)
+
+
+def test_trace_axes_and_peaks():
+    cfg = AnsatzConfig(num_features=5, interaction_distance=2, layers=2, gamma=1.0)
+    x = np.linspace(0.2, 1.8, 5)
+    circuit = build_feature_map_circuit(x, cfg)
+    mps = InstrumentedMPS.zero_state(5)
+    mps.apply_circuit(circuit)
+
+    trace = mps.trace
+    progress = trace.progress_axis()
+    memory = trace.memory_axis_mib()
+    chi = trace.bond_dimension_axis()
+    assert len(progress) == len(memory) == len(chi) == circuit.num_gates
+    assert progress[0] > 0 and progress[-1] == pytest.approx(100.0)
+    assert np.all(np.diff(progress) > 0)
+    assert trace.peak_memory_bytes >= trace.final_memory_bytes
+    assert trace.peak_bond_dimension == max(chi)
+
+
+def test_trace_resample():
+    trace = MemoryTrace(
+        [
+            MemorySample(i, False, 100 * i, 1, 0.0)
+            for i in range(1, 101)
+        ]
+    )
+    small = trace.resample(10)
+    assert len(small) == 10
+    assert small.samples[0].gate_index == 1
+    assert small.samples[-1].gate_index == 100
+    # Resampling to more points than available returns everything.
+    assert len(trace.resample(500)) == 100
+    assert len(trace.resample(0)) == 100
+
+
+def test_empty_trace_defaults():
+    trace = MemoryTrace()
+    assert trace.peak_memory_bytes == 0
+    assert trace.final_memory_bytes == 0
+    assert trace.peak_bond_dimension == 1
+    assert trace.progress_axis().size == 0
+
+
+def test_zero_state_constructor():
+    mps = InstrumentedMPS.zero_state(3)
+    assert mps.num_qubits == 3
+    assert len(mps.trace) == 0

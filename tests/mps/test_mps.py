@@ -1,0 +1,231 @@
+"""Unit tests for the MPS class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.mps import MPS, TruncationPolicy, gates
+
+
+def random_statevector(num_qubits, rng):
+    vec = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return vec / np.linalg.norm(vec)
+
+
+def test_zero_state_statevector():
+    mps = MPS.zero_state(3)
+    vec = mps.to_statevector()
+    expected = np.zeros(8)
+    expected[0] = 1.0
+    assert np.allclose(vec, expected)
+    assert mps.norm() == pytest.approx(1.0)
+    assert mps.max_bond_dimension == 1
+
+
+def test_plus_state_statevector():
+    mps = MPS.plus_state(3)
+    vec = mps.to_statevector()
+    assert np.allclose(vec, np.full(8, 1 / np.sqrt(8)))
+
+
+def test_invalid_constructions():
+    with pytest.raises(SimulationError):
+        MPS([])
+    with pytest.raises(SimulationError):
+        MPS.zero_state(0)
+    site = np.zeros((1, 3, 1))  # wrong physical dimension
+    with pytest.raises(SimulationError):
+        MPS([site])
+    a = np.zeros((1, 2, 2))
+    b = np.zeros((3, 2, 1))  # bond mismatch with a
+    with pytest.raises(SimulationError):
+        MPS([a, b])
+    c = np.zeros((2, 2, 1))  # boundary dimension != 1
+    with pytest.raises(SimulationError):
+        MPS([c])
+
+
+def test_single_qubit_gate_application():
+    mps = MPS.zero_state(2)
+    mps.apply_single_qubit_gate(0, gates.pauli_x())
+    vec = mps.to_statevector()
+    expected = np.zeros(4)
+    expected[2] = 1.0  # |10>
+    assert np.allclose(vec, expected)
+    assert mps.gates_applied == 1
+    assert mps.two_qubit_gates_applied == 0
+
+
+def test_two_qubit_gate_builds_bell_state():
+    mps = MPS.zero_state(2)
+    mps.apply_single_qubit_gate(0, gates.hadamard())
+    mps.apply_two_qubit_gate(0, gates.cnot())
+    vec = mps.to_statevector()
+    expected = np.zeros(4)
+    expected[0] = expected[3] = 1 / np.sqrt(2)
+    assert np.allclose(vec, expected)
+    assert mps.max_bond_dimension == 2
+    assert mps.two_qubit_gates_applied == 1
+
+
+def test_two_qubit_gate_requires_adjacency():
+    mps = MPS.zero_state(3)
+    with pytest.raises(SimulationError):
+        mps.apply_gate((0, 2), gates.cnot())
+    with pytest.raises(SimulationError):
+        mps.apply_two_qubit_gate(2, gates.cnot())  # no right neighbour
+
+
+def test_gate_shape_validation():
+    mps = MPS.zero_state(2)
+    with pytest.raises(SimulationError):
+        mps.apply_single_qubit_gate(0, np.eye(4))
+    with pytest.raises(SimulationError):
+        mps.apply_two_qubit_gate(0, np.eye(2))
+    with pytest.raises(SimulationError):
+        mps.apply_gate((0, 1, 2), np.eye(8))
+    with pytest.raises(SimulationError):
+        mps.apply_single_qubit_gate(5, np.eye(2))
+
+
+def test_norm_preserved_by_unitaries(rng):
+    mps = MPS.plus_state(4)
+    for _ in range(10):
+        q = rng.integers(3)
+        mps.apply_two_qubit_gate(int(q), gates.rxx(float(rng.normal())))
+        mps.apply_single_qubit_gate(int(q), gates.rz(float(rng.normal())))
+    assert mps.norm() == pytest.approx(1.0, abs=1e-10)
+
+
+def test_inner_product_self_is_one():
+    mps = MPS.plus_state(5)
+    assert abs(mps.inner_product(mps)) == pytest.approx(1.0)
+    assert mps.fidelity(mps) == pytest.approx(1.0)
+
+
+def test_inner_product_orthogonal_states():
+    a = MPS.zero_state(3)
+    b = MPS.zero_state(3)
+    b.apply_single_qubit_gate(1, gates.pauli_x())
+    assert abs(a.inner_product(b)) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_inner_product_qubit_mismatch_raises():
+    with pytest.raises(SimulationError):
+        MPS.zero_state(2).inner_product(MPS.zero_state(3))
+
+
+def test_inner_product_conjugates_bra():
+    # <0|RZ(theta)|0> = exp(-i theta/2); <psi|0> should be its conjugate.
+    theta = 0.7
+    a = MPS.zero_state(1)
+    a.apply_single_qubit_gate(0, gates.rz(theta))
+    b = MPS.zero_state(1)
+    forward = b.inner_product(a)   # <0| RZ |0>
+    backward = a.inner_product(b)  # <RZ 0 | 0>
+    assert forward == pytest.approx(np.exp(-1j * theta / 2))
+    assert backward == pytest.approx(np.conj(forward))
+
+
+def test_from_statevector_roundtrip(rng):
+    vec = random_statevector(4, rng)
+    mps = MPS.from_statevector(vec)
+    assert np.allclose(mps.to_statevector(), vec)
+    assert mps.norm() == pytest.approx(1.0)
+
+
+def test_from_statevector_rejects_bad_length():
+    with pytest.raises(SimulationError):
+        MPS.from_statevector(np.ones(6))
+
+
+def test_canonicalize_preserves_state_and_sets_center(rng):
+    vec = random_statevector(5, rng)
+    mps = MPS.from_statevector(vec)
+    for center in [0, 2, 4]:
+        mps.canonicalize(center)
+        assert mps.orthogonality_center == center
+        assert np.allclose(mps.to_statevector(), vec)
+
+
+def test_canonicalize_invalid_center():
+    with pytest.raises(SimulationError):
+        MPS.zero_state(3).canonicalize(3)
+
+
+def test_expectation_single():
+    mps = MPS.zero_state(2)
+    assert mps.expectation_single(0, gates.pauli_z()) == pytest.approx(1.0)
+    mps.apply_single_qubit_gate(0, gates.pauli_x())
+    assert mps.expectation_single(0, gates.pauli_z()) == pytest.approx(-1.0)
+    plus = MPS.plus_state(2)
+    assert plus.expectation_single(1, gates.pauli_x()) == pytest.approx(1.0)
+    assert plus.expectation_single(1, gates.pauli_z()) == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(SimulationError):
+        plus.expectation_single(0, np.eye(4))
+
+
+def test_copy_is_independent():
+    mps = MPS.plus_state(3)
+    clone = mps.copy()
+    clone.apply_single_qubit_gate(0, gates.pauli_z())
+    assert mps.fidelity(clone) != pytest.approx(1.0)
+    # Original unchanged.
+    assert np.allclose(mps.to_statevector(), MPS.plus_state(3).to_statevector())
+
+
+def test_schmidt_values_and_entropy_of_bell_state():
+    mps = MPS.zero_state(2)
+    mps.apply_single_qubit_gate(0, gates.hadamard())
+    mps.apply_two_qubit_gate(0, gates.cnot())
+    s = mps.schmidt_values(0)
+    assert np.allclose(np.sort(s)[::-1], [1 / np.sqrt(2), 1 / np.sqrt(2)])
+    assert mps.entanglement_entropy(0) == pytest.approx(np.log(2))
+
+
+def test_entropy_of_product_state_is_zero():
+    mps = MPS.plus_state(4)
+    for bond in range(3):
+        assert mps.entanglement_entropy(bond) == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(SimulationError):
+        mps.schmidt_values(3)
+
+
+def test_normalize():
+    mps = MPS.zero_state(2)
+    mps._tensors[0] *= 3.0  # deliberately denormalise
+    assert mps.norm() == pytest.approx(3.0)
+    mps.normalize()
+    assert mps.norm() == pytest.approx(1.0)
+
+
+def test_truncation_error_tracking_stays_negligible(rng):
+    mps = MPS.plus_state(6, TruncationPolicy(cutoff=1e-16))
+    for _ in range(20):
+        q = int(rng.integers(5))
+        mps.apply_two_qubit_gate(q, gates.rxx(float(rng.normal())))
+    assert mps.cumulative_discarded_weight < 1e-12
+    assert len(mps.truncation_records) == 20
+
+
+def test_memory_bytes_grows_with_entanglement():
+    product = MPS.plus_state(6)
+    entangled = MPS.plus_state(6)
+    # |+...+> is an eigenstate of XX, so RZZ is used to generate entanglement.
+    for q in range(5):
+        entangled.apply_two_qubit_gate(q, gates.rzz(0.9))
+    assert entangled.memory_bytes > product.memory_bytes
+    assert entangled.max_bond_dimension > 1
+
+
+def test_densify_limit():
+    mps = MPS.zero_state(21)
+    with pytest.raises(SimulationError):
+        mps.to_statevector()
+
+
+def test_refuses_normalising_zero_state():
+    site = np.zeros((1, 2, 1))
+    mps = MPS([site])
+    with pytest.raises(SimulationError):
+        mps.normalize()

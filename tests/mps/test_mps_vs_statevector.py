@@ -1,0 +1,121 @@
+"""Cross-validation of the MPS engine against the dense statevector simulator.
+
+These are the strongest correctness tests of the simulation substrate: random
+circuits and the actual feature-map ansatz are simulated with both engines
+and must agree to floating-point precision (the paper's truncation threshold
+guarantees machine-precision accuracy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GateKind, build_feature_map_circuit
+from repro.config import AnsatzConfig
+from repro.mps import MPS, gates
+from repro.statevector import StatevectorSimulator, statevector_fidelity
+
+
+def _random_adjacent_circuit(num_qubits, num_gates, rng):
+    """Random circuit with only adjacent two-qubit gates (MPS-ready)."""
+    circuit = Circuit(num_qubits)
+    single = [GateKind.RX, GateKind.RY, GateKind.RZ, GateKind.H]
+    double = [GateKind.RXX, GateKind.RZZ, GateKind.CNOT, GateKind.SWAP]
+    for _ in range(num_gates):
+        if rng.random() < 0.5 or num_qubits == 1:
+            kind = single[rng.integers(len(single))]
+            angle = float(rng.uniform(-np.pi, np.pi)) if kind.is_parameterised else 0.0
+            circuit.add(kind, int(rng.integers(num_qubits)), angle=angle)
+        else:
+            kind = double[rng.integers(len(double))]
+            q = int(rng.integers(num_qubits - 1))
+            angle = float(rng.uniform(-np.pi, np.pi)) if kind.is_parameterised else 0.0
+            circuit.add(kind, (q, q + 1), angle=angle)
+    return circuit
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3, 5, 7])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_circuits_agree(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    circuit = _random_adjacent_circuit(num_qubits, 25, rng)
+
+    mps = MPS.zero_state(num_qubits)
+    mps.apply_circuit(circuit)
+
+    sv = StatevectorSimulator(num_qubits)
+    sv.apply_circuit(circuit)
+
+    assert statevector_fidelity(mps.to_statevector(), sv.statevector) == pytest.approx(
+        1.0, abs=1e-10
+    )
+
+
+@pytest.mark.parametrize("distance", [1, 2, 3])
+@pytest.mark.parametrize("gamma", [0.1, 0.5, 1.0])
+def test_feature_map_circuit_agrees(distance, gamma):
+    cfg = AnsatzConfig(
+        num_features=6, interaction_distance=distance, layers=2, gamma=gamma
+    )
+    rng = np.random.default_rng(42)
+    x = rng.uniform(0.05, 1.95, size=6)
+
+    routed = build_feature_map_circuit(x, cfg, routed=True)
+    unrouted = build_feature_map_circuit(x, cfg, routed=False)
+
+    mps = MPS.zero_state(6)
+    mps.apply_circuit(routed)
+
+    sv = StatevectorSimulator(6)
+    sv.apply_circuit(unrouted)
+
+    assert statevector_fidelity(mps.to_statevector(), sv.statevector) == pytest.approx(
+        1.0, abs=1e-10
+    )
+    assert mps.cumulative_discarded_weight < 1e-12
+
+
+def test_kernel_entries_agree_between_simulators():
+    cfg = AnsatzConfig(num_features=5, interaction_distance=2, layers=2, gamma=0.8)
+    rng = np.random.default_rng(3)
+    X = rng.uniform(0.1, 1.9, size=(3, 5))
+
+    mps_states = []
+    sv_states = []
+    for row in X:
+        circuit = build_feature_map_circuit(row, cfg)
+        mps = MPS.zero_state(5)
+        mps.apply_circuit(circuit)
+        mps_states.append(mps)
+
+        sv = StatevectorSimulator(5)
+        sv.apply_circuit(build_feature_map_circuit(row, cfg, routed=False))
+        sv_states.append(sv.statevector)
+
+    for i in range(3):
+        for j in range(3):
+            k_mps = mps_states[i].fidelity(mps_states[j])
+            k_sv = statevector_fidelity(sv_states[i], sv_states[j])
+            assert k_mps == pytest.approx(k_sv, abs=1e-10)
+
+
+def test_expectation_values_agree(rng):
+    cfg = AnsatzConfig(num_features=4, interaction_distance=2, layers=1, gamma=0.6)
+    x = rng.uniform(0.1, 1.9, size=4)
+    mps = MPS.zero_state(4)
+    mps.apply_circuit(build_feature_map_circuit(x, cfg))
+    sv = StatevectorSimulator(4)
+    sv.apply_circuit(build_feature_map_circuit(x, cfg, routed=False))
+    for q in range(4):
+        for op in (gates.pauli_x(), gates.pauli_y(), gates.pauli_z()):
+            assert np.real(mps.expectation_single(q, op)) == pytest.approx(
+                np.real(sv.expectation_single(q, op)), abs=1e-10
+            )
+
+
+def test_statevector_prepare_plus_matches_mps():
+    sv = StatevectorSimulator(4)
+    sv.prepare_plus_state()
+    mps = MPS.plus_state(4)
+    assert statevector_fidelity(sv.statevector, mps.to_statevector()) == pytest.approx(
+        1.0
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for the low-level tensor utilities."""
+
+import numpy as np
+import pytest
+
+from repro.mps import gates
+from repro.mps.tensor_ops import (
+    apply_single_qubit_gate,
+    apply_two_qubit_gate_to_theta,
+    merge_sites,
+    qr_right,
+    robust_svd,
+    rq_left,
+    split_theta,
+    tensor_memory_bytes,
+)
+
+
+def _random_site(rng, left, right):
+    return rng.normal(size=(left, 2, right)) + 1j * rng.normal(size=(left, 2, right))
+
+
+def test_robust_svd_reconstructs(rng):
+    mat = rng.normal(size=(6, 9)) + 1j * rng.normal(size=(6, 9))
+    u, s, vh = robust_svd(mat)
+    assert np.allclose(u @ np.diag(s) @ vh, mat)
+    assert np.all(np.diff(s) <= 1e-12)  # descending
+
+
+def test_qr_right_left_isometry_and_reconstruction(rng):
+    t = _random_site(rng, 3, 5)
+    q, r = qr_right(t)
+    # Reconstruction.
+    rebuilt = np.tensordot(q, r, axes=([2], [0]))
+    assert np.allclose(rebuilt, t)
+    # Left isometry: sum_{l,p} Q*[l,p,a] Q[l,p,b] = delta_ab
+    q_mat = q.reshape(-1, q.shape[2])
+    assert np.allclose(q_mat.conj().T @ q_mat, np.eye(q.shape[2]))
+
+
+def test_rq_left_right_isometry_and_reconstruction(rng):
+    t = _random_site(rng, 5, 3)
+    r, q = rq_left(t)
+    rebuilt = np.tensordot(r, q, axes=([1], [0]))
+    assert np.allclose(rebuilt, t)
+    q_mat = q.reshape(q.shape[0], -1)
+    assert np.allclose(q_mat @ q_mat.conj().T, np.eye(q.shape[0]))
+
+
+def test_apply_single_qubit_gate_matches_dense(rng):
+    t = _random_site(rng, 2, 3)
+    gate = gates.hadamard()
+    out = apply_single_qubit_gate(t, gate)
+    expected = np.einsum("ab,lbr->lar", gate, t)
+    assert np.allclose(out, expected)
+    assert out.shape == t.shape
+
+
+def test_merge_and_split_roundtrip(rng):
+    a = _random_site(rng, 2, 4)
+    b = _random_site(rng, 4, 3)
+    theta = merge_sites(a, b)
+    assert theta.shape == (2, 2, 2, 3)
+    u, s, vh = split_theta(theta)
+    rebuilt = np.einsum("lpk,k,kqr->lpqr", u, s, vh)
+    assert np.allclose(rebuilt, theta)
+
+
+def test_apply_two_qubit_gate_to_theta_identity(rng):
+    a = _random_site(rng, 2, 3)
+    b = _random_site(rng, 3, 2)
+    theta = merge_sites(a, b)
+    out = apply_two_qubit_gate_to_theta(theta, np.eye(4))
+    assert np.allclose(out, theta)
+
+
+def test_apply_two_qubit_gate_to_theta_swap(rng):
+    a = _random_site(rng, 1, 2)
+    b = _random_site(rng, 2, 1)
+    theta = merge_sites(a, b)
+    swapped = apply_two_qubit_gate_to_theta(theta, gates.swap())
+    # SWAP exchanges the two physical indices.
+    assert np.allclose(swapped, np.transpose(theta, (0, 2, 1, 3)))
+
+
+def test_two_qubit_gate_application_is_unitary_norm_preserving(rng):
+    a = _random_site(rng, 2, 3)
+    b = _random_site(rng, 3, 2)
+    theta = merge_sites(a, b)
+    gate = gates.rxx(0.8)
+    out = apply_two_qubit_gate_to_theta(theta, gate)
+    assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(theta))
+
+
+def test_tensor_memory_bytes():
+    t = np.zeros((2, 2, 3), dtype=np.complex128)
+    assert tensor_memory_bytes(t) == 2 * 2 * 3 * 16

@@ -1,0 +1,115 @@
+"""Unit tests for truncation policies and error accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TruncationError
+from repro.mps.truncation import (
+    TruncationPolicy,
+    TruncationRecord,
+    truncate_singular_values,
+)
+
+
+def test_default_policy_keeps_significant_values():
+    policy = TruncationPolicy()
+    s = np.array([1.0, 0.5, 0.25])
+    kept, discarded = policy.select_rank(s)
+    assert kept == 3
+    assert discarded == 0.0
+
+
+def test_policy_discards_negligible_values():
+    policy = TruncationPolicy(cutoff=1e-16)
+    s = np.array([1.0, 1e-10])
+    kept, discarded = policy.select_rank(s)
+    assert kept == 1
+    assert discarded <= 1e-16
+
+
+def test_policy_respects_relative_cutoff():
+    # All values equal: discarding any one of 4 loses 25% of the weight.
+    policy = TruncationPolicy(cutoff=0.30)
+    s = np.array([1.0, 1.0, 1.0, 1.0])
+    kept, discarded = policy.select_rank(s)
+    assert kept == 3
+    assert discarded == pytest.approx(0.25)
+
+
+def test_policy_keeps_at_least_one_value():
+    policy = TruncationPolicy(cutoff=1.0)
+    s = np.array([0.7, 0.1])
+    kept, _ = policy.select_rank(s)
+    assert kept >= 1
+
+
+def test_zero_singular_values_handled():
+    policy = TruncationPolicy()
+    kept, discarded = policy.select_rank(np.zeros(5))
+    assert kept == 1
+    assert discarded == 0.0
+
+
+def test_bond_cap_raises_when_lossy():
+    policy = TruncationPolicy(cutoff=1e-16, max_bond_dim=1)
+    s = np.array([1.0, 0.9])
+    with pytest.raises(TruncationError):
+        policy.select_rank(s)
+
+
+def test_bond_cap_allowed_when_lossy_permitted():
+    policy = TruncationPolicy(cutoff=1e-16, max_bond_dim=1, allow_lossy_cap=True)
+    s = np.array([1.0, 0.9])
+    kept, discarded = policy.select_rank(s)
+    assert kept == 1
+    assert discarded == pytest.approx(0.81 / 1.81)
+
+
+def test_bond_cap_not_lossy_when_within_cutoff():
+    policy = TruncationPolicy(cutoff=1e-16, max_bond_dim=2)
+    s = np.array([1.0, 0.5, 1e-12])
+    kept, discarded = policy.select_rank(s)
+    assert kept == 2
+    assert discarded <= 1e-16
+
+
+def test_invalid_policy_parameters():
+    with pytest.raises(ConfigurationError):
+        TruncationPolicy(cutoff=-1.0)
+    with pytest.raises(ConfigurationError):
+        TruncationPolicy(max_bond_dim=0)
+
+
+def test_select_rank_rejects_bad_input():
+    policy = TruncationPolicy()
+    with pytest.raises(TruncationError):
+        policy.select_rank(np.zeros((2, 2)))
+    with pytest.raises(TruncationError):
+        policy.select_rank(np.array([]))
+
+
+def test_truncate_singular_values_shapes_and_record():
+    u = np.random.default_rng(0).normal(size=(3, 2, 4))
+    s = np.array([1.0, 0.5, 1e-12, 1e-13])
+    vh = np.random.default_rng(1).normal(size=(4, 2, 3))
+    policy = TruncationPolicy(cutoff=1e-16)
+    u2, s2, vh2, record = truncate_singular_values(u, s, vh, policy)
+    assert isinstance(record, TruncationRecord)
+    assert record.bond_dimension_before == 4
+    assert record.bond_dimension_after == record.kept == 2
+    assert record.discarded == 2
+    assert u2.shape == (3, 2, 2)
+    assert s2.shape == (2,)
+    assert vh2.shape == (2, 2, 3)
+    assert record.fidelity_lower_bound == pytest.approx(1.0, abs=1e-12)
+
+
+def test_record_fidelity_bound_is_clamped():
+    record = TruncationRecord(
+        kept=1,
+        discarded=1,
+        discarded_weight=1.5,
+        bond_dimension_before=2,
+        bond_dimension_after=1,
+    )
+    assert record.fidelity_lower_bound == 0.0

@@ -1,0 +1,88 @@
+"""Unit tests for the simulated communicator and communication model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicationError
+from repro.parallel import CommunicationModel, SimulatedComm
+
+
+def test_communication_model_transfer_time():
+    model = CommunicationModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+    assert model.transfer_time(0) == pytest.approx(1e-6)
+    assert model.transfer_time(10**9) == pytest.approx(1.0 + 1e-6)
+    with pytest.raises(CommunicationError):
+        model.transfer_time(-1)
+    with pytest.raises(CommunicationError):
+        CommunicationModel(latency_s=-1)
+    with pytest.raises(CommunicationError):
+        CommunicationModel(bandwidth_bytes_per_s=0)
+
+
+def test_send_deliver_receive_roundtrip():
+    comm = SimulatedComm(3)
+    comm.send(0, 1, {"payload": 42}, nbytes=100)
+    comm.send(2, 1, "hello", nbytes=50)
+    # Nothing visible before deliver.
+    assert comm.receive_all(1) == []
+    comm.deliver()
+    received = comm.receive_all(1)
+    assert len(received) == 2
+    assert {"payload": 42} in received
+    assert "hello" in received
+    # Mailbox drained.
+    assert comm.receive_all(1) == []
+    assert comm.supersteps == 1
+
+
+def test_byte_accounting():
+    comm = SimulatedComm(2)
+    comm.send(0, 1, "a", nbytes=128)
+    comm.send(0, 1, "b", nbytes=256)
+    comm.deliver()
+    assert comm.bytes_sent[0] == 384
+    assert comm.bytes_sent[1] == 0
+    assert comm.messages_sent[0] == 2
+    assert comm.send_time_s[0] > 0
+    assert comm.recv_time_s[1] > 0
+    summary = comm.communication_summary()
+    assert summary["total_bytes"] == 384
+    assert summary["total_messages"] == 2
+    assert summary["supersteps"] == 1
+
+
+def test_tagged_receive():
+    comm = SimulatedComm(2)
+    comm.send(0, 1, "block", nbytes=1, tag="ring")
+    comm.send(0, 1, "result", nbytes=1, tag="gather")
+    comm.deliver()
+    ring_msgs = comm.receive_all(1, tag="ring")
+    assert ring_msgs == ["block"]
+    assert comm.pending_count(1) == 1
+    assert comm.receive_all(1, tag="gather") == ["result"]
+
+
+def test_invalid_usage():
+    comm = SimulatedComm(2)
+    with pytest.raises(CommunicationError):
+        SimulatedComm(0)
+    with pytest.raises(CommunicationError):
+        comm.send(0, 5, "x", nbytes=1)
+    with pytest.raises(CommunicationError):
+        comm.send(0, 0, "x", nbytes=1)
+    with pytest.raises(CommunicationError):
+        comm.send(0, 1, "x", nbytes=-1)
+    with pytest.raises(CommunicationError):
+        comm.receive_all(7)
+
+
+def test_gather():
+    comm = SimulatedComm(3)
+    payloads = {0: np.zeros(10), 1: np.ones(10), 2: np.full(10, 2.0)}
+    gathered = comm.gather(payloads, root=0)
+    assert len(gathered) == 3
+    assert np.allclose(gathered[2], 2.0)
+    # Root does not send to itself.
+    assert comm.messages_sent[0] == 0
+    assert comm.messages_sent[1] == 1
+    assert comm.bytes_sent[1] == 80

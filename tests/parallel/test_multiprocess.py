@@ -1,0 +1,73 @@
+"""Unit tests for the process-pool Gram-matrix computer."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig, SimulationConfig
+from repro.exceptions import ParallelError
+from repro.kernels import QuantumKernel
+from repro.parallel import MultiprocessGramComputer
+from repro.parallel.multiprocess import compute_tile_entries
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.6)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0.1, 1.9, size=(6, 4))
+
+
+def test_serial_mode_matches_sequential_kernel(ansatz, X):
+    """max_workers <= 1 runs in-process and must equal the reference kernel."""
+    reference = QuantumKernel(ansatz).gram_matrix(X).matrix
+    computer = MultiprocessGramComputer(ansatz, max_workers=1)
+    K = computer.compute(X)
+    assert np.allclose(K, reference, atol=1e-10)
+    assert np.allclose(np.diag(K), 1.0)
+
+
+def test_process_pool_matches_sequential_kernel(ansatz, X):
+    """With a real process pool the result is identical (slower, but exact)."""
+    reference = QuantumKernel(ansatz).gram_matrix(X).matrix
+    computer = MultiprocessGramComputer(ansatz, max_workers=2, num_blocks=2)
+    K = computer.compute(X)
+    assert np.allclose(K, reference, atol=1e-10)
+
+
+def test_worker_function_computes_tile_entries(ansatz, X):
+    entries = compute_tile_entries(
+        X,
+        ansatz.to_dict(),
+        SimulationConfig().to_dict(),
+        row_indices=(0, 1),
+        col_indices=(2, 3),
+        symmetric_diagonal=False,
+    )
+    assert len(entries) == 4
+    reference = QuantumKernel(ansatz).gram_matrix(X).matrix
+    for (i, j, value) in entries:
+        assert value == pytest.approx(reference[i, j], abs=1e-10)
+
+    diag_entries = compute_tile_entries(
+        X,
+        ansatz.to_dict(),
+        SimulationConfig().to_dict(),
+        row_indices=(0, 1, 2),
+        col_indices=(0, 1, 2),
+        symmetric_diagonal=True,
+    )
+    assert len(diag_entries) == 3
+    assert all(i < j for (i, j, _v) in diag_entries)
+
+
+def test_validation(ansatz, X, rng):
+    computer = MultiprocessGramComputer(ansatz, max_workers=1)
+    with pytest.raises(ParallelError):
+        computer.compute(X[:1])  # too few rows
+    with pytest.raises(ParallelError):
+        computer.compute(rng.uniform(size=(4, 7)))  # wrong feature count
+    with pytest.raises(ParallelError):
+        MultiprocessGramComputer(ansatz, max_workers=-1).compute(X)

@@ -1,0 +1,103 @@
+"""Unit tests for the wall-clock scaling projection."""
+
+import pytest
+
+from repro.exceptions import ParallelError
+from repro.parallel import CommunicationModel, ScalingProjection, project_wall_clock
+
+
+@pytest.fixture
+def projection():
+    return ScalingProjection(
+        simulation_time_per_circuit_s=2.0,
+        inner_product_time_s=0.02,
+        bytes_per_state=15 * 1024,
+        communication=CommunicationModel(),
+    )
+
+
+def test_simulation_phase_scales_with_points_over_processes(projection):
+    assert projection.simulation_wall_s(100, 10) == pytest.approx(10 * 2.0)
+    # Doubling both keeps the simulation wall-clock constant (Fig. 8).
+    assert projection.simulation_wall_s(200, 20) == pytest.approx(
+        projection.simulation_wall_s(100, 10)
+    )
+
+
+def test_inner_product_phase_scales_quadratically(projection):
+    t1 = projection.inner_product_wall_s(100, 10)
+    t2 = projection.inner_product_wall_s(200, 20)
+    # Twice the data with twice the processes -> roughly twice the time.
+    assert 1.8 < t2 / t1 < 2.2
+
+
+def test_total_and_breakdown(projection):
+    breakdown = projection.breakdown(64, 8)
+    assert breakdown["total_wall_s"] == pytest.approx(
+        breakdown["simulation_wall_s"]
+        + breakdown["inner_product_wall_s"]
+        + breakdown["communication_wall_s"]
+    )
+    assert projection.total_wall_s(64, 8) == pytest.approx(breakdown["total_wall_s"])
+
+
+def test_paper_extrapolation_64000_points():
+    """The paper: 64,000 points in ~30 h on 320 GPUs, ~15 h on 640 GPUs.
+    With the paper's own per-primitive numbers (2 s per simulation, 0.02 s
+    per inner product) the projection reproduces both figures within 50%."""
+    projection = ScalingProjection(
+        simulation_time_per_circuit_s=2.0,
+        inner_product_time_s=0.02,
+        bytes_per_state=15 * 1024,
+    )
+    hours_320 = projection.total_wall_s(64_000, 320) / 3600.0
+    hours_640 = projection.total_wall_s(64_000, 640) / 3600.0
+    assert 15 < hours_320 < 55
+    assert 7.5 < hours_640 < 27
+    # Doubling the processes roughly halves the time.
+    assert hours_320 / hours_640 == pytest.approx(2.0, rel=0.1)
+
+
+def test_inference_projection(projection):
+    t = projection.inference_wall_s(num_train=64_000, num_processes=320)
+    # Paper: ~2 s simulation + ~4 s of inner products.
+    assert 4.0 < t < 10.0
+    no_sim = projection.inference_wall_s(64_000, 320, simulate_new_point=False)
+    assert no_sim < t
+
+
+def test_communication_phase(projection):
+    assert projection.communication_wall_s(100, 1) == 0.0
+    assert projection.communication_wall_s(100, 8) > 0.0
+
+
+def test_validation(projection):
+    with pytest.raises(ParallelError):
+        ScalingProjection(-1.0, 0.1)
+    with pytest.raises(ParallelError):
+        ScalingProjection(1.0, 0.1, bytes_per_state=-5)
+    with pytest.raises(ParallelError):
+        projection.total_wall_s(0, 4)
+    with pytest.raises(ParallelError):
+        projection.total_wall_s(4, 0)
+
+
+def test_project_wall_clock_from_measurement():
+    measured = {
+        "simulation_wall_s": 10.0,
+        "inner_product_wall_s": 5.0,
+        "communication_wall_s": 0.1,
+    }
+    projected = project_wall_clock(
+        measured,
+        measured_points=16,
+        measured_processes=2,
+        target_points=64,
+        target_processes=8,
+    )
+    # Simulation: same points-per-process -> same wall-clock.
+    assert projected["simulation_wall_s"] == pytest.approx(10.0)
+    # Inner products: 4x the per-process pair count -> ~4x the time.
+    assert projected["inner_product_wall_s"] == pytest.approx(20.0, rel=0.15)
+    with pytest.raises(ParallelError):
+        project_wall_clock(measured, 1, 1, 10, 10)

@@ -1,0 +1,162 @@
+"""Unit tests for the no-messaging and round-robin distribution strategies.
+
+A deterministic toy worker (kernel value derived from the indices, unit
+costs) lets the tests verify exact coverage, duplicate-simulation counts and
+timing aggregation without running any MPS simulation; a final test wires the
+real quantum-kernel worker in and compares against the sequential reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig
+from repro.exceptions import ParallelError
+from repro.kernels import QuantumKernel
+from repro.parallel import (
+    CommunicationModel,
+    KernelWorker,
+    NoMessagingStrategy,
+    RoundRobinStrategy,
+    compute_gram_distributed,
+)
+
+
+class ToyWorker:
+    """Worker whose 'states' are the data indices themselves."""
+
+    def __init__(self):
+        self.simulation_calls = []
+        self.inner_product_calls = []
+
+    def simulate(self, index):
+        self.simulation_calls.append(index)
+        return index, 1.0  # unit simulation time
+
+    def inner_product(self, a, b):
+        self.inner_product_calls.append((a, b))
+        value = 1.0 / (1.0 + abs(a - b))
+        return value, 0.1  # constant inner-product time
+
+    @staticmethod
+    def state_nbytes(state):
+        return 64
+
+
+def _expected_matrix(n):
+    K = np.eye(n)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                K[i, j] = 1.0 / (1.0 + abs(i - j))
+    return K
+
+
+@pytest.mark.parametrize("strategy_cls", [NoMessagingStrategy, RoundRobinStrategy])
+@pytest.mark.parametrize("num_processes,n", [(1, 5), (2, 8), (3, 9), (4, 10), (5, 7)])
+def test_strategies_produce_correct_matrix(strategy_cls, num_processes, n):
+    worker = ToyWorker()
+    result = strategy_cls(num_processes).compute(worker, n)
+    assert np.allclose(result.matrix, _expected_matrix(n))
+    assert result.num_processes == num_processes
+    assert result.total_inner_products == n * (n - 1) // 2
+    assert result.strategy in ("no-messaging", "round-robin")
+
+
+def test_round_robin_simulates_each_circuit_exactly_once():
+    worker = ToyWorker()
+    RoundRobinStrategy(4).compute(worker, 12)
+    assert sorted(worker.simulation_calls) == list(range(12))
+
+
+def test_no_messaging_resimulates_shared_circuits():
+    worker = ToyWorker()
+    result = NoMessagingStrategy(4).compute(worker, 12)
+    # With multiple tiles per row/column some circuits are simulated on
+    # several processes: strictly more total simulations than data points.
+    assert result.total_simulations > 12
+    # ... but no communication at all.
+    assert result.communication_wall_s == 0.0
+    assert all(p.bytes_sent == 0 for p in result.per_process)
+
+
+def test_round_robin_communicates_only_with_multiple_processes():
+    single = RoundRobinStrategy(1).compute(ToyWorker(), 6)
+    assert single.communication_wall_s == 0.0
+    multi = RoundRobinStrategy(3).compute(ToyWorker(), 9)
+    assert multi.communication_wall_s > 0.0
+    assert any(p.bytes_sent > 0 for p in multi.per_process)
+
+
+def test_wall_clock_is_max_over_processes():
+    worker = ToyWorker()
+    result = RoundRobinStrategy(2).compute(worker, 8)
+    assert result.simulation_wall_s == pytest.approx(
+        max(p.simulation_s for p in result.per_process)
+    )
+    assert result.total_wall_s == pytest.approx(
+        result.simulation_wall_s
+        + result.inner_product_wall_s
+        + result.communication_wall_s
+    )
+    breakdown = result.breakdown()
+    assert breakdown["strategy"] == "round-robin"
+    assert breakdown["total_wall_s"] == pytest.approx(result.total_wall_s)
+
+
+def test_round_robin_parallel_scaling_of_simulation_phase():
+    """Doubling data and processes keeps simulation wall-clock constant
+    (the paper's Fig. 8 observation), with unit per-circuit cost."""
+    small = RoundRobinStrategy(2).compute(ToyWorker(), 8)
+    large = RoundRobinStrategy(4).compute(ToyWorker(), 16)
+    assert small.simulation_wall_s == pytest.approx(large.simulation_wall_s)
+    # The inner-product wall-clock roughly doubles (quadratic work, linear
+    # process growth).
+    ratio = large.inner_product_wall_s / small.inner_product_wall_s
+    assert 1.5 < ratio < 2.6
+
+
+def test_more_processes_than_points_is_handled():
+    result = RoundRobinStrategy(8).compute(ToyWorker(), 4)
+    assert np.allclose(result.matrix, _expected_matrix(4))
+    # Surplus ranks stayed idle.
+    idle = [p for p in result.per_process if p.num_simulations == 0]
+    assert len(idle) == 4
+
+
+def test_invalid_configurations():
+    with pytest.raises(ParallelError):
+        NoMessagingStrategy(0)
+    with pytest.raises(ParallelError):
+        RoundRobinStrategy(2).compute(ToyWorker(), 1)
+    with pytest.raises(ParallelError):
+        NoMessagingStrategy(2).compute(ToyWorker(), 0)
+
+
+def test_distributed_matches_sequential_quantum_kernel(rng):
+    """End-to-end: the distributed Gram matrix equals the sequential one."""
+    ansatz = AnsatzConfig(num_features=3, interaction_distance=1, layers=1, gamma=0.7)
+    X = rng.uniform(0.1, 1.9, size=(6, 3))
+
+    sequential = QuantumKernel(ansatz).gram_matrix(X).matrix
+    for strategy in ("round-robin", "no-messaging"):
+        distributed = compute_gram_distributed(
+            X, ansatz, num_processes=3, strategy=strategy
+        )
+        assert np.allclose(distributed.matrix, sequential, atol=1e-10)
+
+
+def test_compute_gram_distributed_validation(rng):
+    ansatz = AnsatzConfig(num_features=3)
+    X = rng.uniform(0.1, 1.9, size=(4, 3))
+    with pytest.raises(ParallelError):
+        compute_gram_distributed(X, ansatz, 2, strategy="unknown")
+    with pytest.raises(ParallelError):
+        KernelWorker(QuantumKernel(ansatz), X, time_source="bogus")
+    with pytest.raises(ParallelError):
+        KernelWorker(QuantumKernel(ansatz), np.ones((3, 5)))
+    worker = KernelWorker(QuantumKernel(ansatz), X, time_source="modelled")
+    with pytest.raises(ParallelError):
+        worker.simulate(10)
+    state, seconds = worker.simulate(0)
+    assert seconds > 0
+    assert worker.state_nbytes(state) == state.memory_bytes

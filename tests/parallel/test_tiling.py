@@ -1,0 +1,84 @@
+"""Unit tests for Gram-matrix tiling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TilingError
+from repro.parallel import partition_indices, square_tiling, tiles_cover_matrix
+from repro.parallel.tiling import Tile
+
+
+def test_partition_even_and_uneven():
+    blocks = partition_indices(10, 2)
+    assert [b.size for b in blocks] == [5, 5]
+    blocks = partition_indices(10, 3)
+    assert [b.size for b in blocks] == [4, 3, 3]
+    # Every index appears exactly once, in order.
+    assert np.array_equal(np.concatenate(blocks), np.arange(10))
+
+
+def test_partition_validation():
+    with pytest.raises(TilingError):
+        partition_indices(0, 1)
+    with pytest.raises(TilingError):
+        partition_indices(5, 0)
+    with pytest.raises(TilingError):
+        partition_indices(3, 4)
+
+
+def test_square_tiling_counts_symmetric():
+    tiles = square_tiling(8, 2, symmetric=True)
+    # Upper-triangular block grid of side 2: 3 tiles.
+    assert len(tiles) == 3
+    diag = [t for t in tiles if t.symmetric_diagonal]
+    assert len(diag) == 2
+    assert tiles_cover_matrix(tiles, 8, symmetric=True)
+
+
+def test_square_tiling_counts_full():
+    tiles = square_tiling(6, 3, symmetric=False)
+    assert len(tiles) == 9
+    assert tiles_cover_matrix(tiles, 6, symmetric=False)
+
+
+def test_square_tiling_owner_assignment():
+    tiles = square_tiling(10, 3, symmetric=True, num_owners=2)
+    owners = {t.owner for t in tiles}
+    assert owners <= {0, 1}
+    # Work is spread over both owners.
+    assert len(owners) == 2
+    with pytest.raises(TilingError):
+        square_tiling(10, 3, num_owners=0)
+
+
+def test_tile_entry_pairs_and_required_states():
+    tile = Tile(
+        row_block=0,
+        col_block=1,
+        row_indices=(0, 1),
+        col_indices=(2, 3),
+        owner=0,
+    )
+    assert tile.num_entries == 4
+    assert set(tile.entry_pairs()) == {(0, 2), (0, 3), (1, 2), (1, 3)}
+    assert tile.required_states == (0, 1, 2, 3)
+
+    diag = Tile(
+        row_block=0,
+        col_block=0,
+        row_indices=(0, 1, 2),
+        col_indices=(0, 1, 2),
+        owner=0,
+        symmetric_diagonal=True,
+    )
+    assert diag.num_entries == 3
+    assert set(diag.entry_pairs()) == {(0, 1), (0, 2), (1, 2)}
+    assert diag.required_states == (0, 1, 2)
+
+
+def test_cover_detects_gaps_and_overlaps():
+    tiles = square_tiling(6, 2, symmetric=True)
+    # Dropping a tile leaves entries uncovered.
+    assert not tiles_cover_matrix(tiles[:-1], 6, symmetric=True)
+    # Duplicating a tile double-covers entries.
+    assert not tiles_cover_matrix(tiles + [tiles[0]], 6, symmetric=True)

@@ -1,0 +1,77 @@
+"""Unit tests for run records and their aggregation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.profiling import RecordCollection, RunRecord
+
+
+def test_record_to_dict_and_json():
+    record = RunRecord(
+        experiment="fig5",
+        params={"d": 2, "gamma": np.float64(0.5)},
+        metrics={"time_s": np.float32(1.25), "chi": np.int64(8)},
+    )
+    d = record.to_dict()
+    assert d["experiment"] == "fig5"
+    assert d["param_d"] == 2
+    assert d["param_gamma"] == 0.5
+    assert d["metric_chi"] == 8
+    parsed = json.loads(record.to_json())
+    assert parsed == d
+
+
+def test_record_handles_arrays_and_nesting():
+    record = RunRecord(
+        experiment="x",
+        metrics={"series": np.arange(3), "nested": {"a": np.float64(1.0)}},
+    )
+    d = record.to_dict()
+    assert d["metric_series"] == [0, 1, 2]
+    assert d["metric_nested"] == {"a": 1.0}
+    # Must be JSON-serialisable end to end.
+    json.dumps(d)
+
+
+def test_collection_grouping_and_aggregation():
+    records = RecordCollection()
+    for d in (1, 1, 2, 2):
+        records.add(
+            RunRecord("fig5", params={"d": d}, metrics={"time_s": float(d) * 2})
+        )
+    assert len(records) == 4
+    groups = records.group_by("d")
+    assert set(groups) == {1, 2}
+    assert len(groups[1]) == 2
+
+    agg = groups[2].aggregate("time_s")
+    assert agg["mean"] == pytest.approx(4.0)
+    assert agg["count"] == 2
+    assert agg["min"] == agg["max"] == 4.0
+
+    values = records.metric_values("time_s")
+    assert values.shape == (4,)
+
+
+def test_collection_filter_and_json_lines():
+    records = RecordCollection(
+        [RunRecord("a", metrics={"v": 1.0}), RunRecord("b", metrics={"v": 2.0})]
+    )
+    only_a = records.filter(lambda r: r.experiment == "a")
+    assert len(only_a) == 1
+    lines = records.to_json_lines().splitlines()
+    assert len(lines) == 2
+    json.loads(lines[0])
+
+
+def test_collection_error_paths():
+    records = RecordCollection([RunRecord("a", metrics={"v": 1.0})])
+    with pytest.raises(ReproError):
+        records.group_by("missing_param")
+    with pytest.raises(ReproError):
+        records.metric_values("missing_metric")
+    with pytest.raises(ReproError):
+        RecordCollection().aggregate("v")

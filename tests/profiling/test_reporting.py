@@ -1,0 +1,56 @@
+"""Unit tests for table formatting and sample summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.profiling import format_table, quartiles, summarize_samples
+
+
+def test_format_table_basic():
+    rows = [
+        {"kernel": "Gaussian", "auc": 0.892, "recall": 0.883},
+        {"kernel": "quantum", "auc": 0.9041, "recall": 0.946},
+    ]
+    text = format_table(rows, title="Table II")
+    lines = text.splitlines()
+    assert lines[0] == "Table II"
+    assert "kernel" in lines[1]
+    assert "0.892" in text
+    assert "0.904" in text  # 3-decimal default precision
+    # One header, one separator, one title, two data rows.
+    assert len(lines) == 5
+
+
+def test_format_table_column_selection_and_missing_values():
+    rows = [{"a": 1, "b": 2.0}, {"a": 3}]
+    text = format_table(rows, columns=["a", "b"], precision=1)
+    assert "2.0" in text
+    # Missing value renders as empty string without crashing.
+    assert text.splitlines()[-1].startswith("3")
+
+
+def test_format_table_empty_raises():
+    with pytest.raises(ReproError):
+        format_table([])
+
+
+def test_quartiles_and_summary():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    q1, med, q3 = quartiles(samples)
+    assert med == 3.0
+    assert q1 == 2.0
+    assert q3 == 4.0
+    summary = summarize_samples(samples)
+    assert summary["median"] == 3.0
+    assert summary["mean"] == 3.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 5.0
+    assert summary["count"] == 5
+
+
+def test_summary_of_empty_raises():
+    with pytest.raises(ReproError):
+        summarize_samples([])
+    with pytest.raises(ReproError):
+        quartiles([])

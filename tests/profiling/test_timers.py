@@ -1,0 +1,48 @@
+"""Unit tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.profiling import Timer, timed
+
+
+def test_timer_sections_accumulate():
+    timer = Timer()
+    with timer.section("work"):
+        time.sleep(0.01)
+    with timer.section("work"):
+        time.sleep(0.01)
+    assert timer.total("work") >= 0.02
+    assert timer.counts["work"] == 2
+    assert timer.mean("work") == pytest.approx(timer.total("work") / 2)
+    assert "work" in timer.summary()
+
+
+def test_timer_manual_add_and_missing_sections():
+    timer = Timer()
+    timer.add("simulation", 1.5)
+    timer.add("simulation", 0.5)
+    assert timer.total("simulation") == pytest.approx(2.0)
+    assert timer.total("unknown") == 0.0
+    assert timer.mean("unknown") == 0.0
+
+
+def test_timer_records_despite_exception():
+    timer = Timer()
+    with pytest.raises(ValueError):
+        with timer.section("failing"):
+            raise ValueError("boom")
+    assert timer.counts["failing"] == 1
+
+
+def test_timed_decorator_returns_result_and_elapsed():
+    @timed
+    def slow_add(a, b):
+        time.sleep(0.005)
+        return a + b
+
+    result, elapsed = slow_add(2, 3)
+    assert result == 5
+    assert elapsed >= 0.005
+    assert slow_add.__name__ == "slow_add"

@@ -1,0 +1,96 @@
+"""Property-based tests for the circuit layer: ansatz, routing, scheduling."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    GateKind,
+    build_feature_map_circuit,
+    build_interaction_graph,
+    feature_map_angles,
+    route_to_linear_chain,
+)
+from repro.circuits.routing import is_routed, swap_overhead
+from repro.circuits.scheduling import circuit_depth, schedule_commuting_layers
+from repro.config import AnsatzConfig
+from repro.mps import MPS
+from repro.statevector import StatevectorSimulator, statevector_fidelity
+
+
+@st.composite
+def ansatz_configs(draw):
+    """Valid ansatz configurations (d strictly smaller than m)."""
+    num_features = draw(st.integers(min_value=2, max_value=7))
+    interaction_distance = draw(
+        st.integers(min_value=1, max_value=min(3, num_features - 1))
+    )
+    return AnsatzConfig(
+        num_features=num_features,
+        interaction_distance=interaction_distance,
+        layers=draw(st.integers(min_value=1, max_value=3)),
+        gamma=draw(st.floats(min_value=0.05, max_value=1.5, allow_nan=False)),
+    )
+
+
+@given(ansatz_configs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_ansatz_gate_counts_match_formulas(config, seed):
+    """Gate counts follow directly from m, d, r and the interaction graph."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.05, 1.95, size=config.num_features)
+    circuit = build_feature_map_circuit(x, config, routed=False)
+    edges = build_interaction_graph(
+        config.num_features, config.interaction_distance
+    ).number_of_edges()
+    assert circuit.count_kind(GateKind.H) == config.num_features
+    assert circuit.count_kind(GateKind.RZ) == config.layers * config.num_features
+    assert circuit.count_kind(GateKind.RXX) == config.layers * edges
+    # Routing adds exactly the SWAP overhead formula's count.
+    routed = route_to_linear_chain(circuit)
+    assert routed.count_kind(GateKind.SWAP) == swap_overhead(circuit)
+    assert is_routed(routed)
+
+
+@given(ansatz_configs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_routed_and_unrouted_circuits_prepare_the_same_state(config, seed):
+    """Routing (and depth scheduling) never changes the prepared state."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.05, 1.95, size=config.num_features)
+    routed = build_feature_map_circuit(x, config, routed=True, scheduled=True)
+    unrouted = build_feature_map_circuit(x, config, routed=False, scheduled=False)
+
+    mps = MPS.zero_state(config.num_features)
+    mps.apply_circuit(routed)
+    sv = StatevectorSimulator(config.num_features)
+    sv.apply_circuit(unrouted)
+    assert abs(statevector_fidelity(mps.to_statevector(), sv.statevector) - 1.0) < 1e-8
+
+
+@given(ansatz_configs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_angles_are_bounded_by_gamma(config, seed):
+    """RZ angles are bounded by 2*gamma*max(x) and RXX by gamma^2*pi."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 2.0, size=config.num_features)
+    angles = feature_map_angles(x, config)
+    assert np.all(np.abs(angles.rz_angles) <= 2 * config.gamma * 2.0 + 1e-12)
+    for theta in angles.rxx_angles.values():
+        assert abs(theta) <= config.gamma**2 * np.pi + 1e-12
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_scheduling_preserves_operations_and_never_increases_depth(m, d):
+    if d >= m:
+        d = m - 1
+    graph = build_interaction_graph(m, d)
+    from repro.circuits import Operation
+
+    ops = [Operation(GateKind.RXX, (i, j), angle=0.1) for i, j in sorted(graph.edges())]
+    scheduled = schedule_commuting_layers(ops, m)
+    assert sorted(op.qubits for op in scheduled) == sorted(op.qubits for op in ops)
+    assert circuit_depth(scheduled) <= circuit_depth(ops)

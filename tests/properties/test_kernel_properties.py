@@ -1,0 +1,87 @@
+"""Property-based tests for kernels and metrics."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import AnsatzConfig
+from repro.kernels import (
+    QuantumKernel,
+    gaussian_gram_matrix,
+    is_positive_semidefinite,
+    kernel_concentration,
+)
+from repro.svm.metrics import accuracy_score, roc_auc_score
+
+
+feature_rows = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 4), st.just(3)),
+    elements=st.floats(min_value=0.05, max_value=1.95, allow_nan=False),
+)
+
+
+@given(feature_rows)
+@settings(max_examples=15, deadline=None)
+def test_quantum_kernel_matrix_is_valid_gram_matrix(X):
+    ansatz = AnsatzConfig(num_features=3, interaction_distance=1, layers=1, gamma=0.6)
+    K = QuantumKernel(ansatz).gram_matrix(X).matrix
+    n = X.shape[0]
+    assert K.shape == (n, n)
+    assert np.allclose(K, K.T, atol=1e-10)
+    assert np.allclose(np.diag(K), 1.0, atol=1e-10)
+    assert np.all(K >= -1e-10) and np.all(K <= 1.0 + 1e-10)
+    assert is_positive_semidefinite(K, atol=1e-7)
+
+
+@given(
+    arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(2, 8), st.integers(1, 5)),
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    ),
+    st.floats(min_value=0.01, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_kernel_is_psd_and_bounded(X, alpha):
+    K = gaussian_gram_matrix(X, alpha=alpha)
+    assert np.allclose(np.diag(K), 1.0)
+    assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+    assert is_positive_semidefinite(K, atol=1e-7)
+    stats = kernel_concentration(K)
+    assert 0.0 <= stats["off_diagonal_mean"] <= 1.0
+    assert stats["off_diagonal_min"] <= stats["off_diagonal_max"]
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=4, max_size=50),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_auc_bounds_and_complement_symmetry(labels, seed):
+    y = np.array(labels)
+    assume(0 < y.sum() < y.size)
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=y.size)
+    auc = roc_auc_score(y, scores)
+    assert 0.0 <= auc <= 1.0
+    # Negating the scores mirrors the AUC around 1/2.
+    assert roc_auc_score(y, -scores) == np.float64(1.0) - auc or abs(
+        roc_auc_score(y, -scores) + auc - 1.0
+    ) < 1e-9
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=50),
+    st.lists(st.integers(0, 1), min_size=2, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_bounds_and_self_consistency(a, b):
+    n = min(len(a), len(b))
+    y_true = np.array(a[:n])
+    y_pred = np.array(b[:n])
+    acc = accuracy_score(y_true, y_pred)
+    assert 0.0 <= acc <= 1.0
+    assert accuracy_score(y_true, y_true) == 1.0
+    # Accuracy of prediction and its complement sum to 1.
+    assert acc + accuracy_score(y_true, 1 - y_pred) == 1.0

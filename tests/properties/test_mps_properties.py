@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the MPS simulation substrate.
+
+Invariants checked on randomly generated circuits and states:
+
+* unitarity: the norm of the state is preserved by any sequence of gates;
+* exactness: with the machine-precision truncation policy, the MPS state
+  matches the dense statevector simulation of the same circuit;
+* inner products are conjugate-symmetric and bounded by Cauchy-Schwarz;
+* SVD truncation never discards more relative weight than the policy allows.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, GateKind
+from repro.mps import MPS, TruncationPolicy, gates
+from repro.mps.truncation import truncate_singular_values
+from repro.statevector import StatevectorSimulator, statevector_fidelity
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+angles = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+
+
+@st.composite
+def adjacent_circuits(draw, max_qubits=6, max_gates=20):
+    """Random circuit containing only MPS-compatible (adjacent) gates."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            kind = draw(st.sampled_from([GateKind.RX, GateKind.RY, GateKind.RZ, GateKind.H]))
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            angle = draw(angles) if kind.is_parameterised else 0.0
+            circuit.add(kind, q, angle=angle)
+        else:
+            kind = draw(
+                st.sampled_from([GateKind.RXX, GateKind.RZZ, GateKind.CNOT, GateKind.SWAP])
+            )
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 2))
+            angle = draw(angles) if kind.is_parameterised else 0.0
+            circuit.add(kind, (q, q + 1), angle=angle)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(adjacent_circuits())
+@settings(max_examples=40, deadline=None)
+def test_norm_is_preserved(circuit):
+    mps = MPS.plus_state(circuit.num_qubits)
+    mps.apply_circuit(circuit)
+    assert abs(mps.norm() - 1.0) < 1e-9
+
+
+@given(adjacent_circuits(max_qubits=5, max_gates=15))
+@settings(max_examples=25, deadline=None)
+def test_mps_matches_statevector(circuit):
+    mps = MPS.zero_state(circuit.num_qubits)
+    mps.apply_circuit(circuit)
+    sv = StatevectorSimulator(circuit.num_qubits)
+    sv.apply_circuit(circuit)
+    fidelity = statevector_fidelity(mps.to_statevector(), sv.statevector)
+    assert abs(fidelity - 1.0) < 1e-8
+
+
+@given(adjacent_circuits(max_qubits=5, max_gates=12), adjacent_circuits(max_qubits=5, max_gates=12))
+@settings(max_examples=25, deadline=None)
+def test_inner_product_conjugate_symmetry_and_bound(circ_a, circ_b):
+    num_qubits = min(circ_a.num_qubits, circ_b.num_qubits)
+    a = MPS.plus_state(num_qubits)
+    b = MPS.zero_state(num_qubits)
+    for op in circ_a.operations:
+        if max(op.qubits) < num_qubits:
+            a.apply_gate(op.qubits, op.matrix())
+    for op in circ_b.operations:
+        if max(op.qubits) < num_qubits:
+            b.apply_gate(op.qubits, op.matrix())
+    ab = a.inner_product(b)
+    ba = b.inner_product(a)
+    assert abs(ab - np.conj(ba)) < 1e-9
+    assert abs(ab) <= 1.0 + 1e-9  # both states are normalised
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-8, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(min_value=1e-16, max_value=0.5),
+)
+@settings(max_examples=100, deadline=None)
+def test_truncation_respects_cutoff(values, cutoff):
+    s = np.sort(np.array(values))[::-1]
+    policy = TruncationPolicy(cutoff=cutoff)
+    kept, discarded = policy.select_rank(s)
+    assert 1 <= kept <= s.size
+    assert discarded <= cutoff + 1e-15
+    # Keeping fewer values than `kept` would exceed the cutoff (minimality),
+    # unless kept is already 1.
+    if kept > 1:
+        total = float(np.sum(s * s))
+        discarded_if_fewer = float(np.sum(s[kept - 1:] ** 2)) / total
+        assert discarded_if_fewer > cutoff
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_truncated_factors_shapes_consistent(chi_l, chi_r, seed):
+    rng = np.random.default_rng(seed)
+    theta = rng.normal(size=(chi_l, 2, 2, chi_r)) + 1j * rng.normal(
+        size=(chi_l, 2, 2, chi_r)
+    )
+    from repro.mps.tensor_ops import split_theta
+
+    u, s, vh = split_theta(theta)
+    u2, s2, vh2, record = truncate_singular_values(
+        u, s, vh, TruncationPolicy(cutoff=1e-16)
+    )
+    assert u2.shape[2] == s2.shape[0] == vh2.shape[0] == record.kept
+    assert record.kept + record.discarded == record.bond_dimension_before

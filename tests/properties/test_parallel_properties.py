@@ -1,0 +1,82 @@
+"""Property-based tests for tiling and the distribution strategies."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    NoMessagingStrategy,
+    RoundRobinStrategy,
+    partition_indices,
+    square_tiling,
+    tiles_cover_matrix,
+)
+
+
+class ToyWorker:
+    """States are indices; kernel value is a deterministic function of them."""
+
+    def simulate(self, index):
+        return index, 1.0
+
+    def inner_product(self, a, b):
+        return 1.0 / (1.0 + abs(a - b)), 0.1
+
+    @staticmethod
+    def state_nbytes(state):
+        return 32
+
+
+def _expected(n):
+    K = np.eye(n)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                K[i, j] = 1.0 / (1.0 + abs(i - j))
+    return K
+
+
+@given(st.integers(1, 64), st.integers(1, 16))
+@settings(max_examples=100, deadline=None)
+def test_partition_is_a_disjoint_cover(n, k):
+    if k > n:
+        k = n
+    blocks = partition_indices(n, k)
+    concatenated = np.concatenate(blocks)
+    assert np.array_equal(np.sort(concatenated), np.arange(n))
+    assert len(blocks) == k
+    sizes = [b.size for b in blocks]
+    assert max(sizes) - min(sizes) <= 1  # near-equal
+
+
+@given(st.integers(2, 40), st.integers(1, 8), st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_square_tiling_covers_exactly_once(n, num_blocks, symmetric):
+    num_blocks = min(num_blocks, n)
+    tiles = square_tiling(n, num_blocks, symmetric=symmetric)
+    assert tiles_cover_matrix(tiles, n, symmetric=symmetric)
+
+
+@given(st.integers(2, 20), st.integers(1, 6), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_strategies_always_reconstruct_the_full_matrix(n, k, use_round_robin):
+    strategy = (RoundRobinStrategy if use_round_robin else NoMessagingStrategy)(k)
+    result = strategy.compute(ToyWorker(), n)
+    assert np.allclose(result.matrix, _expected(n))
+    # Exactly one inner product per unordered pair across all processes.
+    assert result.total_inner_products == n * (n - 1) // 2
+
+
+@given(st.integers(2, 20), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_round_robin_never_duplicates_simulations(n, k):
+    class CountingWorker(ToyWorker):
+        def __init__(self):
+            self.simulated = []
+
+        def simulate(self, index):
+            self.simulated.append(index)
+            return index, 1.0
+
+    worker = CountingWorker()
+    RoundRobinStrategy(k).compute(worker, n)
+    assert sorted(worker.simulated) == list(range(n))

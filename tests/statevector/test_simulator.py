@@ -1,0 +1,106 @@
+"""Unit tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.mps import gates
+from repro.statevector import StatevectorSimulator, statevector_fidelity
+
+
+def test_initial_state_is_all_zeros():
+    sim = StatevectorSimulator(3)
+    vec = sim.statevector
+    assert vec[0] == pytest.approx(1.0)
+    assert np.allclose(vec[1:], 0.0)
+    assert sim.norm() == pytest.approx(1.0)
+
+
+def test_limits_and_validation():
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(0)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(25)
+    sim = StatevectorSimulator(2)
+    with pytest.raises(SimulationError):
+        sim.apply_gate([0], np.eye(4))
+    with pytest.raises(SimulationError):
+        sim.apply_gate([0, 0], np.eye(4))
+    with pytest.raises(SimulationError):
+        sim.apply_gate([0, 1, 2], np.eye(8))
+    with pytest.raises(SimulationError):
+        sim.apply_gate([5], np.eye(2))
+
+
+def test_x_gate_flips_most_significant_qubit():
+    sim = StatevectorSimulator(2)
+    sim.apply_gate([0], gates.pauli_x())
+    vec = sim.statevector
+    # qubit 0 is the most significant bit -> |10> = index 2
+    assert vec[2] == pytest.approx(1.0)
+
+
+def test_bell_state_on_non_adjacent_qubits():
+    sim = StatevectorSimulator(3)
+    sim.apply_gate([0], gates.hadamard())
+    sim.apply_gate([0, 2], gates.cnot())  # control 0, target 2 (non-adjacent)
+    vec = sim.statevector
+    # Expect (|000> + |101>) / sqrt(2) -> indices 0 and 5
+    assert vec[0] == pytest.approx(1 / np.sqrt(2))
+    assert vec[5] == pytest.approx(1 / np.sqrt(2))
+    assert abs(vec[1]) < 1e-12 and abs(vec[4]) < 1e-12
+
+
+def test_cnot_with_reversed_qubit_order():
+    sim = StatevectorSimulator(2)
+    sim.apply_gate([1], gates.pauli_x())      # state |01>
+    sim.apply_gate([1, 0], gates.cnot())       # control qubit 1 -> flips qubit 0
+    vec = sim.statevector
+    assert vec[3] == pytest.approx(1.0)        # |11>
+
+
+def test_norm_preserved_and_gate_count(rng):
+    sim = StatevectorSimulator(4)
+    sim.prepare_plus_state()
+    count0 = sim.gates_applied
+    for _ in range(12):
+        q = int(rng.integers(3))
+        sim.apply_gate([q, q + 1], gates.rxx(float(rng.normal())))
+    assert sim.norm() == pytest.approx(1.0)
+    assert sim.gates_applied == count0 + 12
+
+
+def test_reset():
+    sim = StatevectorSimulator(2)
+    sim.apply_gate([0], gates.hadamard())
+    sim.reset()
+    assert sim.statevector[0] == pytest.approx(1.0)
+    assert sim.gates_applied == 0
+
+
+def test_inner_product_and_fidelity():
+    a = StatevectorSimulator(2)
+    b = StatevectorSimulator(2)
+    b.apply_gate([0], gates.pauli_x())
+    assert a.inner_product(b) == pytest.approx(0.0)
+    assert a.fidelity(a.statevector) == pytest.approx(1.0)
+    with pytest.raises(SimulationError):
+        a.inner_product(np.ones(3))
+
+
+def test_expectation_single():
+    sim = StatevectorSimulator(2)
+    assert sim.expectation_single(1, gates.pauli_z()) == pytest.approx(1.0)
+    sim.apply_gate([1], gates.pauli_x())
+    assert sim.expectation_single(1, gates.pauli_z()) == pytest.approx(-1.0)
+    with pytest.raises(SimulationError):
+        sim.expectation_single(0, np.eye(4))
+
+
+def test_statevector_fidelity_helper():
+    v = np.array([1.0, 0.0])
+    w = np.array([0.0, 1.0])
+    assert statevector_fidelity(v, v) == pytest.approx(1.0)
+    assert statevector_fidelity(v, w) == pytest.approx(0.0)
+    with pytest.raises(SimulationError):
+        statevector_fidelity(v, np.ones(3))

@@ -1,0 +1,124 @@
+"""Unit tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.svm import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+def test_confusion_matrix_counts():
+    y_true = np.array([0, 0, 1, 1, 1, 0])
+    y_pred = np.array([0, 1, 1, 0, 1, 0])
+    cm = confusion_matrix(y_true, y_pred)
+    assert cm.tolist() == [[2, 1], [1, 2]]
+
+
+def test_accuracy_precision_recall_f1():
+    y_true = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+    y_pred = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+    assert accuracy_score(y_true, y_pred) == pytest.approx(6 / 8)
+    assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_perfect_and_worst_predictions():
+    y = np.array([0, 1, 0, 1])
+    assert accuracy_score(y, y) == 1.0
+    assert precision_score(y, y) == 1.0
+    assert recall_score(y, y) == 1.0
+    flipped = 1 - y
+    assert accuracy_score(y, flipped) == 0.0
+    assert recall_score(y, flipped) == 0.0
+
+
+def test_degenerate_precision_recall_return_zero():
+    # No predicted positives -> precision 0; no true positives -> recall 0.
+    assert precision_score([0, 1], [0, 0]) == 0.0
+    assert recall_score([0, 0], [0, 1]) == 0.0
+    assert f1_score([0, 1], [0, 0]) == 0.0
+
+
+def test_signed_labels_accepted():
+    y_true = np.array([-1, -1, 1, 1])
+    y_pred = np.array([-1, 1, 1, 1])
+    assert accuracy_score(y_true, y_pred) == pytest.approx(0.75)
+
+
+def test_invalid_labels_rejected():
+    with pytest.raises(DataError):
+        accuracy_score([0, 2], [0, 1])
+    with pytest.raises(DataError):
+        accuracy_score([], [])
+    with pytest.raises(DataError):
+        accuracy_score([0, 1, 1], [0, 1])
+
+
+def test_roc_curve_perfect_separation():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    fpr, tpr, thresholds = roc_curve(y, scores)
+    assert roc_auc_score(y, scores) == pytest.approx(1.0)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+    assert thresholds[0] == np.inf
+
+
+def test_roc_auc_random_scores_near_half():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, size=2000)
+    scores = rng.normal(size=2000)
+    auc = roc_auc_score(y, scores)
+    assert 0.45 < auc < 0.55
+
+
+def test_roc_auc_inverted_scores():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+
+def test_roc_auc_with_ties():
+    y = np.array([0, 1, 0, 1])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert roc_auc_score(y, scores) == pytest.approx(0.5)
+
+
+def test_roc_requires_both_classes():
+    with pytest.raises(DataError):
+        roc_auc_score([1, 1, 1], [0.2, 0.3, 0.4])
+
+
+def test_roc_auc_is_threshold_invariant():
+    """AUC depends only on the ranking of the scores."""
+    rng = np.random.default_rng(5)
+    y = rng.integers(0, 2, size=100)
+    y[:5] = 1  # ensure both classes
+    y[-5:] = 0
+    scores = rng.normal(size=100)
+    a = roc_auc_score(y, scores)
+    b = roc_auc_score(y, 3.0 * scores + 10.0)
+    assert a == pytest.approx(b)
+
+
+def test_classification_report_keys_and_values():
+    y_true = np.array([0, 1, 1, 0])
+    y_pred = np.array([0, 1, 0, 0])
+    scores = np.array([-1.0, 2.0, 0.1, -0.5])
+    report = classification_report(y_true, y_pred, scores)
+    assert set(report) == {"accuracy", "precision", "recall", "f1", "auc"}
+    assert report["accuracy"] == pytest.approx(0.75)
+    assert report["auc"] == pytest.approx(roc_auc_score(y_true, scores))
+    # Without scores the predictions are used.
+    fallback = classification_report(y_true, y_pred)
+    assert fallback["auc"] == pytest.approx(roc_auc_score(y_true, y_pred))

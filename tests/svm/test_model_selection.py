@@ -1,0 +1,102 @@
+"""Unit tests for train/test splitting and the C-grid scan."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, SVMError
+from repro.kernels import gaussian_gram_matrix
+from repro.svm import GridSearchResult, grid_search_c, train_test_split
+
+
+def _blobs(n_per_class=30, separation=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_per_class, 3))
+    b = rng.normal(size=(n_per_class, 3)) + separation
+    X = np.vstack([a, b])
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    return X, y
+
+
+def test_split_sizes_and_disjointness():
+    X, y = _blobs(25)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, seed=1)
+    assert X_train.shape[0] + X_test.shape[0] == 50
+    assert X_test.shape[0] == 10
+    assert y_train.size == X_train.shape[0]
+    # No row appears in both splits (rows are unique with probability 1).
+    train_rows = {tuple(r) for r in X_train}
+    test_rows = {tuple(r) for r in X_test}
+    assert not (train_rows & test_rows)
+
+
+def test_split_stratification_preserves_balance():
+    X, y = _blobs(40)
+    _, _, y_train, y_test = train_test_split(X, y, test_fraction=0.25, seed=0)
+    assert abs(np.mean(y_train) - 0.5) < 1e-9
+    assert abs(np.mean(y_test) - 0.5) < 1e-9
+
+
+def test_split_reproducible_and_seed_sensitive():
+    X, y = _blobs(20)
+    a = train_test_split(X, y, seed=7)
+    b = train_test_split(X, y, seed=7)
+    c = train_test_split(X, y, seed=8)
+    assert np.array_equal(a[0], b[0])
+    assert not np.array_equal(a[0], c[0])
+
+
+def test_split_unstratified():
+    X, y = _blobs(20)
+    X_train, X_test, *_ = train_test_split(X, y, test_fraction=0.3, stratify=False)
+    assert X_test.shape[0] == 12
+    assert X_train.shape[0] == 28
+
+
+def test_split_validation():
+    X, y = _blobs(10)
+    with pytest.raises(DataError):
+        train_test_split(X, y[:-1])
+    with pytest.raises(DataError):
+        train_test_split(X, y, test_fraction=0.0)
+    with pytest.raises(DataError):
+        train_test_split(X.ravel(), np.ones(X.size))
+    with pytest.raises(DataError):
+        train_test_split(np.ones((2, 2)), np.array([0, 1]), test_fraction=0.9)
+
+
+def test_grid_search_selects_best_auc():
+    X, y = _blobs(30, separation=1.5, seed=4)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, seed=0)
+    K_train = gaussian_gram_matrix(X_train)
+    K_test = gaussian_gram_matrix(X_test, X_train)
+    result = grid_search_c(K_train, y_train, K_test, y_test, c_grid=(0.01, 0.1, 1.0, 4.0))
+    assert isinstance(result, GridSearchResult)
+    assert result.best_C in (0.01, 0.1, 1.0, 4.0)
+    best_auc = result.best_test_auc
+    # The winner's AUC must be the max over the per-C reports.
+    all_aucs = [v["test"]["auc"] for v in result.per_C.values()]
+    assert best_auc == pytest.approx(max(all_aucs))
+    assert set(result.best_test_metrics) == {"accuracy", "precision", "recall", "f1", "auc"}
+    assert result.best_model is not None
+    assert len(result.per_C) == 4
+
+
+def test_grid_search_validation():
+    K = np.eye(4)
+    y = np.array([0, 1, 0, 1])
+    with pytest.raises(SVMError):
+        grid_search_c(K, y, np.ones((2, 5)), np.array([0, 1]), c_grid=(1.0,))
+    with pytest.raises(SVMError):
+        grid_search_c(K, y, np.ones((2, 4)), np.array([0, 1]), c_grid=())
+
+
+def test_grid_search_alternative_selection_metric():
+    X, y = _blobs(20, separation=2.0, seed=9)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, seed=0)
+    K_train = gaussian_gram_matrix(X_train)
+    K_test = gaussian_gram_matrix(X_test, X_train)
+    result = grid_search_c(
+        K_train, y_train, K_test, y_test, c_grid=(0.1, 1.0), selection_metric="accuracy"
+    )
+    accs = [v["test"]["accuracy"] for v in result.per_C.values()]
+    assert result.best_test_metrics["accuracy"] == pytest.approx(max(accs))

@@ -1,0 +1,151 @@
+"""Unit tests for the SMO-trained precomputed-kernel SVM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SVMError
+from repro.kernels import gaussian_gram_matrix
+from repro.svm import PrecomputedKernelSVC, accuracy_score, roc_auc_score
+
+
+def _blobs(n_per_class=30, separation=3.0, seed=0, dim=2):
+    """Two Gaussian blobs, linearly separable for large separation."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_per_class, dim))
+    b = rng.normal(size=(n_per_class, dim)) + separation
+    X = np.vstack([a, b])
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    perm = rng.permutation(2 * n_per_class)
+    return X[perm], y[perm]
+
+
+def _linear_kernel(A, B=None):
+    B = A if B is None else B
+    return A @ B.T
+
+
+def test_separable_blobs_linear_kernel():
+    X, y = _blobs(separation=5.0)
+    K = _linear_kernel(X)
+    model = PrecomputedKernelSVC(C=1.0)
+    model.fit(K, y)
+    preds = model.predict(K)
+    assert accuracy_score(y, preds) == 1.0
+    assert model.support_ is not None and model.support_.size > 0
+    assert model.n_iter_ > 0
+
+
+def test_gaussian_kernel_nonlinear_problem():
+    # XOR-like data: not linearly separable, solvable with an RBF kernel.
+    rng = np.random.default_rng(1)
+    n = 40
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] * X[:, 1]) > 0).astype(int)
+    # Guarantee both classes present.
+    y[0], y[1] = 0, 1
+    K = gaussian_gram_matrix(X, alpha=2.0)
+    model = PrecomputedKernelSVC(C=5.0)
+    model.fit(K, y)
+    acc = accuracy_score(y, model.predict(K))
+    assert acc >= 0.9
+
+
+def test_decision_function_scores_rank_better_than_chance():
+    X, y = _blobs(separation=2.0, seed=3)
+    K = gaussian_gram_matrix(X)
+    model = PrecomputedKernelSVC(C=1.0)
+    model.fit(K, y)
+    scores = model.decision_function(K)
+    assert roc_auc_score(y, scores) > 0.9
+
+
+def test_dual_constraints_satisfied():
+    X, y = _blobs(separation=1.5, seed=5)
+    K = gaussian_gram_matrix(X)
+    C = 0.7
+    model = PrecomputedKernelSVC(C=C)
+    model.fit(K, y)
+    alpha = model.alpha_
+    y_signed = np.where(y > 0, 1.0, -1.0)
+    assert np.all(alpha >= -1e-10)
+    assert np.all(alpha <= C + 1e-10)
+    # Equality constraint sum alpha_i y_i = 0.
+    assert float(np.dot(alpha, y_signed)) == pytest.approx(0.0, abs=1e-8)
+
+
+def test_dual_objective_increases_with_more_iterations():
+    X, y = _blobs(separation=1.0, seed=7)
+    K = gaussian_gram_matrix(X)
+    short = PrecomputedKernelSVC(C=1.0, max_iter=5)
+    short.fit(K, y)
+    long = PrecomputedKernelSVC(C=1.0)
+    long.fit(K, y)
+    assert long.dual_objective(K) >= short.dual_objective(K) - 1e-9
+
+
+def test_test_kernel_prediction_shape_and_validation():
+    X, y = _blobs(separation=4.0, seed=11)
+    X_test, _ = _blobs(n_per_class=5, separation=4.0, seed=12)
+    K = _linear_kernel(X)
+    K_test = _linear_kernel(X_test, X)
+    model = PrecomputedKernelSVC().fit(K, y)
+    preds = model.predict(K_test)
+    assert preds.shape == (10,)
+    assert set(np.unique(preds)) <= {0, 1}
+    # 1-D row is accepted and treated as a single sample.
+    single = model.decision_function(K_test[0])
+    assert single.shape == (1,)
+    with pytest.raises(SVMError):
+        model.decision_function(np.ones((2, 7)))
+
+
+def test_signed_labels_supported():
+    X, y = _blobs(separation=5.0, seed=2)
+    y_signed = np.where(y > 0, 1, -1)
+    K = _linear_kernel(X)
+    model = PrecomputedKernelSVC().fit(K, y_signed)
+    assert accuracy_score(y, model.predict(K)) == 1.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(SVMError):
+        PrecomputedKernelSVC(C=0.0)
+    with pytest.raises(SVMError):
+        PrecomputedKernelSVC(tol=-1.0)
+    with pytest.raises(SVMError):
+        PrecomputedKernelSVC(max_iter=0)
+    model = PrecomputedKernelSVC()
+    with pytest.raises(SVMError):
+        model.fit(np.eye(3), np.array([0, 1]))  # size mismatch
+    with pytest.raises(SVMError):
+        model.fit(np.eye(2), np.array([1, 1]))  # single class
+    with pytest.raises(SVMError):
+        model.fit(np.ones((2, 3)), np.array([0, 1]))  # non-square kernel
+    with pytest.raises(SVMError):
+        model.fit(np.eye(1), np.array([1]))  # too few samples
+    with pytest.raises(SVMError):
+        model.fit(np.eye(2), np.array([0, 2]))  # non-binary labels
+    with pytest.raises(SVMError):
+        model.decision_function(np.eye(2))  # not fitted
+    with pytest.raises(SVMError):
+        model.dual_objective(np.eye(2))  # not fitted
+
+
+def test_regularisation_controls_margin_violations():
+    """Smaller C allows more support vectors at the box bound."""
+    X, y = _blobs(separation=0.8, seed=21)
+    K = gaussian_gram_matrix(X)
+    loose = PrecomputedKernelSVC(C=0.01).fit(K, y)
+    tight = PrecomputedKernelSVC(C=10.0).fit(K, y)
+    at_bound_loose = np.sum(np.isclose(loose.alpha_, 0.01, atol=1e-6))
+    at_bound_tight = np.sum(np.isclose(tight.alpha_, 10.0, atol=1e-4))
+    assert at_bound_loose >= at_bound_tight
+
+
+def test_deterministic_given_seed():
+    X, y = _blobs(separation=1.2, seed=30)
+    K = gaussian_gram_matrix(X)
+    a = PrecomputedKernelSVC(C=1.0, random_state=3).fit(K, y)
+    b = PrecomputedKernelSVC(C=1.0, random_state=3).fit(K, y)
+    assert np.allclose(a.alpha_, b.alpha_)
+    assert a.intercept_ == pytest.approx(b.intercept_)

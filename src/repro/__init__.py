@@ -8,6 +8,9 @@ Fitzpatrick; SC 2024).  The package provides:
 * a dense statevector simulator for validation (:mod:`repro.statevector`),
 * the Ising feature-map circuit ansatz with SWAP routing
   (:mod:`repro.circuits`),
+* a unified pairwise compute engine with declarative work plans, a
+  content-addressed MPS state cache and batched overlap evaluation
+  (:mod:`repro.engine`),
 * quantum fidelity / projected kernels and a Gaussian baseline
   (:mod:`repro.kernels`),
 * a kernel SVM with metrics and model selection (:mod:`repro.svm`),
@@ -40,6 +43,7 @@ from .config import (
     SVMConfig,
     DEFAULT_C_GRID,
 )
+from .engine import EngineConfig, KernelEngine, StateStore
 from .exceptions import ReproError
 from .mps import MPS, InstrumentedMPS, TruncationPolicy
 from .circuits import Circuit, build_feature_map_circuit
@@ -59,6 +63,9 @@ __all__ = [
     "ExperimentConfig",
     "DEFAULT_C_GRID",
     "ReproError",
+    "EngineConfig",
+    "KernelEngine",
+    "StateStore",
     "MPS",
     "InstrumentedMPS",
     "TruncationPolicy",

@@ -17,7 +17,12 @@ classification metrics) use the actual numerics and are identical across
 backends.
 """
 
-from .base import Backend, BackendResult, InnerProductResult
+from .base import (
+    Backend,
+    BackendResult,
+    BatchInnerProductResult,
+    InnerProductResult,
+)
 from .cost_model import DeviceCostModel, CPU_COST_MODEL, GPU_COST_MODEL
 from .cpu import CpuBackend
 from .gpu import SimulatedGpuBackend
@@ -26,6 +31,7 @@ from .registry import available_backends, get_backend
 __all__ = [
     "Backend",
     "BackendResult",
+    "BatchInnerProductResult",
     "InnerProductResult",
     "DeviceCostModel",
     "CPU_COST_MODEL",

@@ -9,19 +9,26 @@ scaler, the encoded training states and the fitted SVM, and exposes
 ``predict`` / ``decision_function`` for new raw feature rows, together with
 the per-point cost accounting the paper quotes (about 2 s of simulation plus
 milliseconds per training-state inner product at full scale).
+
+The heavy lifting dispatches through a cache-enabled
+:class:`repro.engine.KernelEngine`: training encodes populate the
+content-addressed :class:`~repro.engine.StateStore`, and inference builds a
+:class:`~repro.engine.KernelRowPlan` against the stored states, so a point
+that was ever encoded before (training or a repeated query) is served from
+the cache with zero redundant simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List
 
 import numpy as np
 
-from ..backends import Backend, CpuBackend
+from ..backends import Backend
 from ..config import AnsatzConfig, SimulationConfig
+from ..engine import EngineConfig, KernelEngine
 from ..exceptions import SVMError
-from ..kernels.quantum_kernel import QuantumKernel
 from ..mps import MPS
 from ..svm import FeatureScaler, PrecomputedKernelSVC
 
@@ -38,6 +45,9 @@ class InferenceResult:
     simulation_time_s: float
     inner_product_time_s: float
     num_inner_products: int
+    num_simulations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def num_points(self) -> int:
@@ -59,6 +69,11 @@ class QuantumKernelInferenceEngine:
         pass the winning ``C``).
     backend:
         MPS backend (defaults to the CPU backend).
+    use_cache / cache_bytes:
+        Whether encodes go through a content-addressed state store (default:
+        yes, unbounded).  With the cache on, classifying a point that was
+        part of the training set -- or was classified before -- performs no
+        MPS simulation at all.
     """
 
     ansatz: AnsatzConfig
@@ -66,15 +81,21 @@ class QuantumKernelInferenceEngine:
     tol: float = 1e-3
     backend: Backend | None = None
     simulation: SimulationConfig | None = None
+    use_cache: bool = True
+    cache_bytes: int | None = None
     _scaler: FeatureScaler = field(default_factory=FeatureScaler, repr=False)
-    _kernel: QuantumKernel | None = field(default=None, repr=False)
+    _engine: KernelEngine | None = field(default=None, repr=False)
     _train_states: List[MPS] = field(default_factory=list, repr=False)
     _model: PrecomputedKernelSVC | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if self.backend is None:
-            self.backend = CpuBackend(self.simulation)
-        self._kernel = QuantumKernel(self.ansatz, backend=self.backend)
+        self._engine = KernelEngine(
+            self.ansatz,
+            backend=self.backend,
+            simulation=self.simulation,
+            config=EngineConfig(use_cache=self.use_cache, cache_bytes=self.cache_bytes),
+        )
+        self.backend = self._engine.backend
 
     # ------------------------------------------------------------------
     @property
@@ -87,21 +108,29 @@ class QuantumKernelInferenceEngine:
         """Number of stored training MPS."""
         return len(self._train_states)
 
+    @property
+    def engine(self) -> KernelEngine:
+        """The underlying compute engine (shared cache, counters)."""
+        assert self._engine is not None
+        return self._engine
+
+    def cache_stats(self):
+        """State-store statistics, or ``None`` when caching is disabled."""
+        return self.engine.cache_stats()
+
     def fit(self, X_train: np.ndarray, y_train: np.ndarray) -> "QuantumKernelInferenceEngine":
-        """Scale, encode and store the training set, then train the SVM."""
-        assert self._kernel is not None
+        """Scale, encode and store the training set, then train the SVM.
+
+        Encoding and the symmetric Gram plan both run through the engine, so
+        the training states land in the state store for later inference.
+        """
         X_train = np.asarray(X_train, dtype=float)
         Xs = self._scaler.fit_transform(X_train)
-        self._train_states = self._kernel.encode(Xs)
-        n = len(self._train_states)
-        K = np.eye(n)
-        for i in range(n):
-            for j in range(i + 1, n):
-                overlap = self.backend.inner_product(
-                    self._train_states[i], self._train_states[j]
-                )
-                K[i, j] = K[j, i] = abs(overlap.value) ** 2
-        self._model = PrecomputedKernelSVC(C=self.C, tol=self.tol).fit(K, y_train)
+        result = self.engine.gram(Xs)
+        self._train_states = list(result.states)
+        self._model = PrecomputedKernelSVC(C=self.C, tol=self.tol).fit(
+            result.matrix, y_train
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -112,28 +141,24 @@ class QuantumKernelInferenceEngine:
     def kernel_rows(self, X_new: np.ndarray) -> InferenceResult:
         """Kernel rows of new points against the stored training states."""
         self._require_fitted()
-        assert self._kernel is not None and self._model is not None
+        assert self._model is not None
         X_new = np.asarray(X_new, dtype=float)
         if X_new.ndim == 1:
             X_new = X_new[None, :]
         Xs = self._scaler.transform(X_new)
 
-        self.backend.reset_counters()
-        new_states = self._kernel.encode(Xs)
-        rows = np.zeros((len(new_states), len(self._train_states)))
-        for i, state in enumerate(new_states):
-            for j, train_state in enumerate(self._train_states):
-                rows[i, j] = abs(self.backend.inner_product(state, train_state).value) ** 2
-        summary = self.backend.timing_summary()
-
-        decisions = self._model.decision_function(rows)
+        result = self.engine.kernel_rows(Xs, self._train_states)
+        decisions = self._model.decision_function(result.matrix)
         return InferenceResult(
             predictions=(decisions > 0).astype(int),
             decision_values=decisions,
-            kernel_rows=rows,
-            simulation_time_s=summary["wall_simulation_time_s"],
-            inner_product_time_s=summary["wall_inner_product_time_s"],
-            num_inner_products=int(summary["num_inner_products"]),
+            kernel_rows=result.matrix,
+            simulation_time_s=result.simulation_time_s,
+            inner_product_time_s=result.inner_product_time_s,
+            num_inner_products=result.num_inner_products,
+            num_simulations=result.num_simulations,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
         )
 
     def decision_function(self, X_new: np.ndarray) -> np.ndarray:

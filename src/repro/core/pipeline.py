@@ -25,8 +25,9 @@ import numpy as np
 
 from ..backends import Backend, get_backend
 from ..config import DEFAULT_C_GRID, AnsatzConfig, SimulationConfig
+from ..engine import EngineConfig, KernelEngine
 from ..exceptions import ConfigurationError, DataError
-from ..kernels import GaussianKernel, QuantumKernel, kernel_concentration
+from ..kernels import GaussianKernel, kernel_concentration
 from ..svm import FeatureScaler, GridSearchResult, grid_search_c
 
 __all__ = ["QuantumKernelPipeline", "PipelineResult"]
@@ -97,6 +98,10 @@ class QuantumKernelPipeline:
     c_grid / svm_tol:
         The SVM regularisation grid and tolerance (paper: ``[0.01, 4]``,
         ``1e-3``).
+    engine_config:
+        Knobs of the underlying :class:`~repro.engine.KernelEngine`
+        (executor selection, state cache, overlap batch size) used by the
+        quantum kernel families.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class QuantumKernelPipeline:
         c_grid: Sequence[float] = DEFAULT_C_GRID,
         svm_tol: float = 1e-3,
         scale_interval: tuple[float, float] = (0.0, 2.0),
+        engine_config: EngineConfig | None = None,
     ) -> None:
         if kernel not in ("quantum", "gaussian", "projected"):
             raise ConfigurationError(f"unknown kernel family {kernel!r}")
@@ -118,6 +124,7 @@ class QuantumKernelPipeline:
         if backend is None and kernel in ("quantum", "projected"):
             backend = get_backend(backend_name, simulation)
         self.backend = backend
+        self.engine_config = engine_config
         self.c_grid = tuple(c_grid)
         self.svm_tol = float(svm_tol)
         self.scaler = FeatureScaler(lower=scale_interval[0], upper=scale_interval[1])
@@ -146,8 +153,10 @@ class QuantumKernelPipeline:
 
         resource: Dict[str, float] = {}
         if self.kernel_name == "quantum":
-            qk = QuantumKernel(self.ansatz, backend=self.backend)
-            train_result, test_result = qk.train_test_matrices(Xs_train, Xs_test)
+            engine = KernelEngine(
+                self.ansatz, backend=self.backend, config=self.engine_config
+            )
+            train_result, test_result = engine.gram_and_cross(Xs_train, Xs_test)
             K_train, K_test = train_result.matrix, test_result.matrix
             resource = {
                 "simulation_time_s": train_result.simulation_time_s
@@ -174,10 +183,13 @@ class QuantumKernelPipeline:
         elif self.kernel_name == "projected":
             from ..kernels import ProjectedQuantumKernel
 
-            pk = ProjectedQuantumKernel(self.ansatz, backend=self.backend)
+            pk = ProjectedQuantumKernel(
+                self.ansatz, backend=self.backend, engine_config=self.engine_config
+            )
             pk.fit(Xs_train)
             K_train = pk.gram_matrix()
             K_test = pk.cross_matrix(Xs_test)
+            resource = pk.resource_metrics()
         else:  # gaussian baseline uses the same scaled features
             gk = GaussianKernel()
             K_train, K_test = gk.train_test_matrices(Xs_train, Xs_test)

@@ -1,0 +1,56 @@
+"""Unified kernel compute engine.
+
+One compute core for every pairwise-overlap workload in the library:
+
+* :mod:`~repro.engine.plan` -- declarative pairwise work plans
+  (:class:`SymmetricGramPlan`, :class:`CrossGramPlan`,
+  :class:`KernelRowPlan`) that enumerate overlap jobs once, exploiting
+  symmetry by construction;
+* :mod:`~repro.engine.cache` -- a content-addressed :class:`StateStore` for
+  encoded MPS keyed by (feature-row bytes, ansatz fingerprint, truncation
+  policy), with LRU eviction under a byte budget and hit/miss statistics;
+* :mod:`~repro.engine.batching` -- chunked overlap evaluation that groups
+  same-shape pairs and sweeps them through one vectorised einsum path;
+* :mod:`~repro.engine.engine` -- the :class:`KernelEngine` facade with
+  pluggable executors (sequential, tiled, multiprocess) selected by
+  :class:`EngineConfig`.
+
+The kernels, pipeline, inference and distributed layers all dispatch through
+:class:`KernelEngine`; no other module hand-rolls the pairwise loop.
+"""
+
+from .batching import batched_overlaps, group_pairs_by_shape, pair_shape_signature
+from .cache import (
+    CacheStats,
+    StateStore,
+    ansatz_fingerprint,
+    simulation_fingerprint,
+    state_key,
+)
+from .plan import (
+    CrossGramPlan,
+    KernelRowPlan,
+    PairJob,
+    PairwisePlan,
+    SymmetricGramPlan,
+)
+from .engine import EngineConfig, EngineResult, KernelEngine
+
+__all__ = [
+    "PairJob",
+    "PairwisePlan",
+    "SymmetricGramPlan",
+    "CrossGramPlan",
+    "KernelRowPlan",
+    "CacheStats",
+    "StateStore",
+    "ansatz_fingerprint",
+    "simulation_fingerprint",
+    "state_key",
+    "batched_overlaps",
+    "group_pairs_by_shape",
+    "pair_shape_signature",
+    "EngineConfig",
+    "EngineResult",
+    "KernelEngine",
+]

@@ -1,0 +1,16 @@
+"""Chunked overlap evaluation for the engine (re-export of the MPS-layer sweep).
+
+The engine's batched-overlap path groups same-bond-dimension pairs and runs
+the transfer-matrix sweeps through a single vectorised einsum per site.  The
+implementation lives in :mod:`repro.mps.batched` -- it depends only on the
+MPS class, and :mod:`repro.backends` uses it directly for
+:meth:`~repro.backends.Backend.inner_product_batch` without importing the
+engine package.  This module re-exports it as part of the engine's public
+surface, which is the namespace consumers and the engine facade use.
+"""
+
+from __future__ import annotations
+
+from ..mps.batched import batched_overlaps, group_pairs_by_shape, pair_shape_signature
+
+__all__ = ["pair_shape_signature", "batched_overlaps", "group_pairs_by_shape"]

@@ -1,0 +1,414 @@
+"""The :class:`KernelEngine` facade: one compute core for all pairwise work.
+
+Every kernel-matrix computation in the library -- training Gram matrices,
+test-versus-train cross matrices, inference kernel rows -- is the same two
+primitives composed: encode data points to MPS (linear in ``N``), evaluate
+pairwise overlaps (quadratic in ``N``).  The engine owns both primitives plus
+their optimisations, so consumers describe *what* to compute (a
+:class:`~repro.engine.plan.PairwisePlan`) and never *how*:
+
+* encoding goes through an optional content-addressed
+  :class:`~repro.engine.cache.StateStore`, so a point encoded for training is
+  never re-simulated at inference time;
+* overlap jobs are chunked and dispatched through the backend's batched
+  einsum path (:meth:`repro.backends.Backend.inner_product_batch`);
+* the executor -- ``"sequential"``, ``"tiled"`` (cache-friendly tile-ordered
+  job stream) or ``"multiprocess"`` (process-pool fan-out) -- is selected by
+  :class:`EngineConfig` without touching call sites.
+
+:class:`repro.kernels.QuantumKernel`,
+:class:`repro.kernels.ProjectedQuantumKernel`,
+:class:`repro.core.QuantumKernelPipeline` and
+:class:`repro.core.QuantumKernelInferenceEngine` are all thin layers over
+this class, which makes it the single choke point for future scaling work
+(sharding, async serving, GPU batching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backends import Backend, BackendResult, CpuBackend
+from ..circuits import build_feature_map_circuit
+from ..config import AnsatzConfig, SimulationConfig
+from ..exceptions import EngineError, KernelError
+from ..mps import MPS
+from .cache import StateStore, ansatz_fingerprint, simulation_fingerprint, state_key
+from .plan import (
+    CrossGramPlan,
+    KernelRowPlan,
+    PairJob,
+    PairwisePlan,
+    SymmetricGramPlan,
+)
+
+__all__ = ["EngineConfig", "EngineResult", "KernelEngine"]
+
+_EXECUTORS = ("sequential", "tiled", "multiprocess")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the unified kernel engine.
+
+    Parameters
+    ----------
+    executor:
+        ``"sequential"`` evaluates the plan's canonical job order in one
+        process; ``"tiled"`` evaluates the same jobs tile-by-tile (the
+        locality order the distributed strategies use); ``"multiprocess"``
+        fans symmetric Gram plans out over a local process pool.
+    use_cache:
+        Enable the content-addressed :class:`StateStore` for encodes.
+    cache_bytes:
+        LRU byte budget of the store (``None`` = unbounded).
+    batch_size:
+        Maximum overlap pairs per batched backend call.
+    num_blocks:
+        Tile-grid side for the tiled / multiprocess executors (``None`` =
+        auto).
+    max_workers:
+        Process count for the multiprocess executor (``None`` = auto).
+    """
+
+    executor: str = "sequential"
+    use_cache: bool = False
+    cache_bytes: Optional[int] = None
+    batch_size: int = 64
+    num_blocks: Optional[int] = None
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in _EXECUTORS:
+            raise EngineError(
+                f"unknown executor {self.executor!r}; expected one of {_EXECUTORS}"
+            )
+        if self.batch_size < 1:
+            raise EngineError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One executed plan: the kernel matrix plus full cost accounting."""
+
+    matrix: np.ndarray
+    simulation_time_s: float
+    inner_product_time_s: float
+    modelled_simulation_time_s: float
+    modelled_inner_product_time_s: float
+    max_bond_dimension: int
+    total_state_memory_bytes: int
+    num_simulations: int
+    num_inner_products: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    states: Tuple[MPS, ...] = field(default=(), repr=False)
+
+    @property
+    def total_time_s(self) -> float:
+        """Measured wall-clock total of both primitives."""
+        return self.simulation_time_s + self.inner_product_time_s
+
+    @property
+    def modelled_total_time_s(self) -> float:
+        """Modelled device total of both primitives."""
+        return self.modelled_simulation_time_s + self.modelled_inner_product_time_s
+
+
+class KernelEngine:
+    """Unified pairwise-overlap compute core.
+
+    Parameters
+    ----------
+    ansatz:
+        Feature-map hyper-parameters shared by every encode.
+    backend:
+        MPS simulation backend; defaults to a fresh :class:`CpuBackend`.
+    simulation:
+        Simulation configuration for a default backend.
+    config:
+        Engine configuration (executor, cache, batching).
+    store:
+        Externally owned :class:`StateStore`; overrides ``config.use_cache``
+        so several engines (or a serving layer) can share one cache.
+    """
+
+    def __init__(
+        self,
+        ansatz: AnsatzConfig,
+        backend: Backend | None = None,
+        simulation: SimulationConfig | None = None,
+        config: EngineConfig | None = None,
+        store: StateStore | None = None,
+    ) -> None:
+        self.ansatz = ansatz
+        if backend is None:
+            backend = CpuBackend(simulation)
+        self.backend = backend
+        self.config = config if config is not None else EngineConfig()
+        if store is not None:
+            self.store: StateStore | None = store
+        elif self.config.use_cache:
+            self.store = StateStore(max_bytes=self.config.cache_bytes)
+        else:
+            self.store = None
+        self._ansatz_fp = ansatz_fingerprint(ansatz)
+        self._simulation_fp = simulation_fingerprint(self.backend.config)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def validate_features(self, X: np.ndarray) -> np.ndarray:
+        """Coerce ``X`` to a 2-D float matrix matching the ansatz width."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2:
+            raise KernelError(f"feature matrix must be 2-D, got shape {X.shape}")
+        if X.shape[1] != self.ansatz.num_features:
+            raise KernelError(
+                f"expected {self.ansatz.num_features} features, got {X.shape[1]}"
+            )
+        if X.shape[0] == 0:
+            raise KernelError("feature matrix has no rows")
+        return X
+
+    def simulate_row(self, row: np.ndarray) -> BackendResult:
+        """Uncached single-row simulation (full :class:`BackendResult`).
+
+        The distributed strategies charge every re-simulation to the process
+        that performs it, so this path deliberately bypasses the store.
+        """
+        circuit = build_feature_map_circuit(np.asarray(row, dtype=float), self.ansatz)
+        return self.backend.simulate(circuit)
+
+    def encode_row(self, row: np.ndarray) -> MPS:
+        """Encode one feature row, through the state store when enabled."""
+        if self.store is None:
+            return self.simulate_row(row).state
+        key = state_key(row, self._ansatz_fp, self._simulation_fp)
+        cached = self.store.get(key)
+        if cached is not None:
+            return cached
+        state = self.simulate_row(row).state
+        self.store.put(key, state)
+        return state
+
+    def encode_rows(self, X: np.ndarray) -> List[MPS]:
+        """Encode every row of ``X`` (validated) to an MPS."""
+        X = self.validate_features(X)
+        return [self.encode_row(row) for row in X]
+
+    def cache_stats(self):
+        """Store statistics, or ``None`` when caching is disabled."""
+        return self.store.stats() if self.store is not None else None
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+    def _job_stream(self, plan: PairwisePlan) -> Iterable[PairJob]:
+        """The plan's jobs in the executor's preferred order."""
+        if self.config.executor == "tiled" and isinstance(plan, SymmetricGramPlan):
+            return self._tiled_jobs(plan)
+        return plan.jobs()
+
+    def _tiled_jobs(self, plan: SymmetricGramPlan) -> Iterable[PairJob]:
+        """Symmetric-plan jobs reordered tile-by-tile (locality order)."""
+        from ..parallel.tiling import square_tiling
+
+        n = plan.num_points
+        blocks = self.config.num_blocks
+        if blocks is None:
+            blocks = max(1, int(np.ceil(np.sqrt(n))))
+        blocks = min(blocks, n)
+        for tile in square_tiling(n, blocks, symmetric=True):
+            for (i, j) in tile.entry_pairs():
+                yield PairJob(left=i, right=j, row=i, col=j, mirror=True)
+
+    def execute_plan(
+        self,
+        plan: PairwisePlan,
+        left_states: Sequence[MPS],
+        right_states: Sequence[MPS] | None = None,
+    ) -> np.ndarray:
+        """Evaluate every job of ``plan`` and return the filled matrix.
+
+        Jobs are chunked to ``config.batch_size`` and dispatched through the
+        backend's batched overlap path; symmetric mirroring happens here, so
+        no caller ever writes kernel entries directly.
+        """
+        right = left_states if right_states is None else right_states
+        n_left, n_right = plan.shape
+        if isinstance(plan, SymmetricGramPlan):
+            if len(left_states) < plan.num_points:
+                raise EngineError(
+                    f"plan needs {plan.num_points} states, got {len(left_states)}"
+                )
+        else:
+            if len(left_states) < n_left or len(right) < n_right:
+                raise EngineError(
+                    f"plan shape {plan.shape} exceeds the provided state lists "
+                    f"({len(left_states)} x {len(right)})"
+                )
+
+        K = plan.initial_matrix()
+        chunk: List[PairJob] = []
+
+        def _flush() -> None:
+            if not chunk:
+                return
+            pairs = [(left_states[job.left], right[job.right]) for job in chunk]
+            result = self.backend.inner_product_batch(pairs)
+            values = np.abs(result.values) ** 2
+            for job, value in zip(chunk, values):
+                K[job.row, job.col] = value
+                if job.mirror:
+                    K[job.col, job.row] = value
+            chunk.clear()
+
+        for job in self._job_stream(plan):
+            chunk.append(job)
+            if len(chunk) >= self.config.batch_size:
+                _flush()
+        _flush()
+        return K
+
+    # ------------------------------------------------------------------
+    # High-level entry points
+    # ------------------------------------------------------------------
+    def gram(self, X: np.ndarray) -> EngineResult:
+        """Symmetric training Gram matrix ``K_ij = |<psi_i|psi_j>|^2``.
+
+        Resets the backend counters first, so the result's accounting covers
+        exactly this computation (matching the historical semantics of
+        ``QuantumKernel.gram_matrix``).
+        """
+        X = self.validate_features(X)
+        if self.config.executor == "multiprocess" and X.shape[0] >= 2:
+            return self._gram_multiprocess(X)
+        self.backend.reset_counters()
+        hits0, misses0 = self._cache_counts()
+        states = self.encode_rows(X)
+        plan = SymmetricGramPlan(len(states))
+        K = self.execute_plan(plan, states)
+        return self._result_from_counters(K, states, hits0, misses0)
+
+    def cross(self, X_rows: np.ndarray, train_states: Sequence[MPS]) -> EngineResult:
+        """Rectangular kernel between new rows and stored training states."""
+        return self._rectangular(X_rows, train_states, serving=False)
+
+    def kernel_rows(
+        self, X_rows: np.ndarray, train_states: Sequence[MPS]
+    ) -> EngineResult:
+        """Inference-time kernel rows against stored training states.
+
+        Identical accounting to :meth:`cross` but executes a
+        :class:`KernelRowPlan`, marking the serving hot path.
+        """
+        return self._rectangular(X_rows, train_states, serving=True)
+
+    def _rectangular(
+        self, X_rows: np.ndarray, train_states: Sequence[MPS], serving: bool
+    ) -> EngineResult:
+        if not train_states:
+            raise KernelError("train_states must not be empty")
+        X_rows = self.validate_features(X_rows)
+        self.backend.reset_counters()
+        hits0, misses0 = self._cache_counts()
+        row_states = self.encode_rows(X_rows)
+        if serving:
+            plan: CrossGramPlan = KernelRowPlan(
+                len(train_states), num_rows=len(row_states)
+            )
+        else:
+            plan = CrossGramPlan(len(row_states), len(train_states))
+        K = self.execute_plan(plan, row_states, train_states)
+        return self._result_from_counters(K, row_states, hits0, misses0)
+
+    def gram_and_cross(
+        self, X_train: np.ndarray, X_test: np.ndarray
+    ) -> Tuple[EngineResult, EngineResult]:
+        """Training Gram matrix plus test cross matrix, train states shared.
+
+        The training points are encoded once; the cross phase reuses the
+        stored states exactly as the paper's inference procedure does.
+        """
+        train_result = self.gram(X_train)
+        train_states: Sequence[MPS] = train_result.states
+        if not train_states:
+            # The multiprocess executor computes the Gram matrix out of
+            # process and keeps no states; encode them here for the cross
+            # phase (charged to neither result -- cross() resets counters).
+            train_states = self.encode_rows(X_train)
+        test_result = self.cross(X_test, train_states)
+        return train_result, test_result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cache_counts(self) -> Tuple[int, int]:
+        if self.store is None:
+            return 0, 0
+        stats = self.store.stats()
+        return stats.hits, stats.misses
+
+    def _result_from_counters(
+        self,
+        K: np.ndarray,
+        states: Sequence[MPS],
+        hits0: int,
+        misses0: int,
+    ) -> EngineResult:
+        summary = self.backend.timing_summary()
+        hits1, misses1 = self._cache_counts()
+        return EngineResult(
+            matrix=K,
+            simulation_time_s=summary["wall_simulation_time_s"],
+            inner_product_time_s=summary["wall_inner_product_time_s"],
+            modelled_simulation_time_s=summary["modelled_simulation_time_s"],
+            modelled_inner_product_time_s=summary["modelled_inner_product_time_s"],
+            max_bond_dimension=max((s.max_bond_dimension for s in states), default=1),
+            total_state_memory_bytes=sum(s.memory_bytes for s in states),
+            num_simulations=int(summary["num_simulations"]),
+            num_inner_products=int(summary["num_inner_products"]),
+            cache_hits=hits1 - hits0,
+            cache_misses=misses1 - misses0,
+            states=tuple(states),
+        )
+
+    def _gram_multiprocess(self, X: np.ndarray) -> EngineResult:
+        """Fan a symmetric Gram plan out over a local process pool.
+
+        Workers rebuild this engine's backend (by registry name, so modelled
+        device times match) and simulation config, but run sequentially and
+        without a shared cache -- states cannot cross process boundaries
+        cheaply.  Per-tile accounting is aggregated here: wall times are
+        summed across workers (total busy time, not elapsed time) and state
+        memory is deduplicated per data point.
+        """
+        from ..parallel.multiprocess import MultiprocessGramComputer
+
+        computer = MultiprocessGramComputer(
+            ansatz=self.ansatz,
+            simulation=self.backend.config,
+            max_workers=self.config.max_workers,
+            num_blocks=self.config.num_blocks,
+            backend_name=self.backend.name,
+        )
+        self.backend.reset_counters()
+        matrix, stats = computer.compute_with_stats(X)
+        return EngineResult(
+            matrix=matrix,
+            simulation_time_s=stats["wall_simulation_time_s"],
+            inner_product_time_s=stats["wall_inner_product_time_s"],
+            modelled_simulation_time_s=stats["modelled_simulation_time_s"],
+            modelled_inner_product_time_s=stats["modelled_inner_product_time_s"],
+            max_bond_dimension=int(stats["max_bond_dimension"]),
+            total_state_memory_bytes=int(stats["total_state_memory_bytes"]),
+            num_simulations=int(stats["num_simulations"]),
+            num_inner_products=int(stats["num_inner_products"]),
+            states=(),
+        )

@@ -41,6 +41,10 @@ class KernelError(ReproError):
     """Raised for invalid kernel computations (shape mismatch, non-PSD...)."""
 
 
+class EngineError(ReproError):
+    """Raised by the unified kernel compute engine (plans, cache, executors)."""
+
+
 class SVMError(ReproError):
     """Raised when SVM training or prediction receives invalid input."""
 

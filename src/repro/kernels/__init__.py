@@ -1,9 +1,15 @@
 """Kernel construction: the quantum fidelity kernel and classical baselines.
 
+Both quantum kernel families are thin wrappers over the unified
+:class:`repro.engine.KernelEngine`: encoding, state caching, symmetry
+exploitation and batched overlap evaluation live in :mod:`repro.engine`, and
+this package only defines the kernel semantics on top.
+
 * :class:`~repro.kernels.quantum_kernel.QuantumKernel` encodes each data
-  point with the feature-map ansatz, simulates the circuit on an MPS
-  backend, and fills the Gram matrix with squared state overlaps
-  ``K_ij = |<psi(x_i)|psi(x_j)>|^2`` (equation (1) of the paper).
+  point with the feature-map ansatz via the engine and fills the Gram matrix
+  with squared state overlaps ``K_ij = |<psi(x_i)|psi(x_j)>|^2`` (equation
+  (1) of the paper) by executing a
+  :class:`~repro.engine.SymmetricGramPlan` / :class:`~repro.engine.CrossGramPlan`.
 * :class:`~repro.kernels.gaussian.GaussianKernel` is the paper's classical
   baseline ``exp(-alpha |x - x'|^2)`` with the ``alpha = 1 / (m var(X))``
   bandwidth convention.

@@ -13,18 +13,25 @@ large depth, and provides a second quantum kernel family for the extension
 experiments.  The MPS representation makes the local expectation values cheap
 (``O(m chi^3)`` for the full set, via the same transfer-matrix sweep as an
 inner product).
+
+Encoding goes through the shared :class:`repro.engine.KernelEngine`, so the
+projected kernel benefits from the same state cache as the fidelity kernel,
+and it accumulates the same resource accounting (simulation time, projection
+sweep time, bond dimensions) that the pipeline reports for every quantum
+kernel family.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List
 
 import numpy as np
 
-from ..backends import Backend, CpuBackend
-from ..circuits import build_feature_map_circuit
+from ..backends import Backend
 from ..config import AnsatzConfig, SimulationConfig
+from ..engine import EngineConfig, KernelEngine
 from ..exceptions import KernelError
 from ..mps import MPS, pauli_x, pauli_y, pauli_z
 from .gaussian import gaussian_gram_matrix
@@ -46,18 +53,30 @@ class ProjectedQuantumKernel:
         projections.
     backend:
         MPS simulation backend.
+    engine:
+        A pre-built :class:`KernelEngine` to share (e.g. with a fidelity
+        kernel over the same ansatz, so both draw on one state cache).
     """
 
     ansatz: AnsatzConfig
     beta: float | None = None
     backend: Backend | None = None
     simulation: SimulationConfig | None = None
+    engine: KernelEngine | None = None
+    engine_config: EngineConfig | None = None
     _train_projections: np.ndarray | None = field(default=None, repr=False)
     _beta_resolved: float | None = field(default=None, repr=False)
+    _resource: Dict[str, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
-        if self.backend is None:
-            self.backend = CpuBackend(self.simulation)
+        if self.engine is None:
+            self.engine = KernelEngine(
+                self.ansatz,
+                backend=self.backend,
+                simulation=self.simulation,
+                config=self.engine_config,
+            )
+        self.backend = self.engine.backend
 
     # ------------------------------------------------------------------
     def project_state(self, state: MPS) -> np.ndarray:
@@ -72,20 +91,39 @@ class ProjectedQuantumKernel:
         return values
 
     def project(self, X: np.ndarray) -> np.ndarray:
-        """Projected feature matrix ``phi(X)`` of shape ``(n, 3 m)``."""
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X[None, :]
-        if X.shape[1] != self.ansatz.num_features:
-            raise KernelError(
-                f"expected {self.ansatz.num_features} features, got {X.shape[1]}"
-            )
-        assert self.backend is not None
-        rows: List[np.ndarray] = []
-        for row in X:
-            circuit = build_feature_map_circuit(row, self.ansatz)
-            result = self.backend.simulate(circuit)
-            rows.append(self.project_state(result.state))
+        """Projected feature matrix ``phi(X)`` of shape ``(n, 3 m)``.
+
+        Encodes through the engine (cache-aware) and accumulates resource
+        accounting: MPS simulation counters from the backend, wall time of
+        the expectation-value sweeps, and bond-dimension / memory statistics
+        of the encoded states.
+        """
+        assert self.engine is not None and self.backend is not None
+        self.backend.reset_counters()
+        states = self.engine.encode_rows(X)
+
+        start = time.perf_counter()
+        rows: List[np.ndarray] = [self.project_state(state) for state in states]
+        projection_wall = time.perf_counter() - start
+
+        summary = self.backend.timing_summary()
+        # The projection sweeps are the projected kernel's analogue of the
+        # fidelity kernel's inner products: same transfer-matrix primitive,
+        # 3m sweeps per encoded point.
+        increments = {
+            "simulation_time_s": summary["wall_simulation_time_s"],
+            "modelled_simulation_time_s": summary["modelled_simulation_time_s"],
+            "inner_product_time_s": projection_wall,
+            "num_simulations": float(summary["num_simulations"]),
+            "num_expectation_values": float(sum(3 * s.num_qubits for s in states)),
+            "train_state_memory_bytes": float(sum(s.memory_bytes for s in states)),
+        }
+        for key, value in increments.items():
+            self._resource[key] = self._resource.get(key, 0.0) + value
+        self._resource["max_bond_dimension"] = max(
+            self._resource.get("max_bond_dimension", 1.0),
+            float(max((s.max_bond_dimension for s in states), default=1)),
+        )
         return np.vstack(rows)
 
     # ------------------------------------------------------------------
@@ -119,3 +157,14 @@ class ProjectedQuantumKernel:
         return gaussian_gram_matrix(
             proj_test, self._train_projections, self._beta_resolved
         )
+
+    def resource_metrics(self) -> Dict[str, float]:
+        """Accumulated resource accounting across every :meth:`project` call.
+
+        Keys mirror the fidelity-kernel resource report where the concepts
+        coincide (simulation timing, bond dimension, memory, counts); the
+        quadratic phase is the Gaussian kernel on classical vectors, so the
+        ``inner_product_time_s`` entry reports the expectation-value sweep
+        time instead.
+        """
+        return dict(self._resource)

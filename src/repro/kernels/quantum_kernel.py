@@ -8,25 +8,27 @@ For a data set ``X = {x_1, ..., x_N}`` and the feature map
 The computation splits into the two primitives the paper benchmarks
 separately (Fig. 5): one MPS simulation per data point (linear in N) and one
 MPS inner product per pair (quadratic in N, but each inner product is cheap:
-``O(m chi^3)``).  Symmetry is exploited so training Gram matrices only
-evaluate ``N (N - 1) / 2`` off-diagonal overlaps.
+``O(m chi^3)``).
 
-The heavy lifting can also be dispatched to the distributed machinery in
-:mod:`repro.parallel`; this module provides the sequential reference path
-used by the examples and as the per-process kernel inside a tile.
+Since the unified-engine refactor this class is a thin, API-stable wrapper
+over :class:`repro.engine.KernelEngine`: encoding, state caching, symmetry
+exploitation and batched overlap evaluation all live in the engine, and the
+same engine instance powers the pipeline, the inference service and the
+per-process kernels of the distributed strategies.  Construct the kernel with
+an :class:`~repro.engine.EngineConfig` (or a ready-made engine) to select the
+executor or enable the state cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
-from ..backends import Backend, CpuBackend
-from ..circuits import build_feature_map_circuit
+from ..backends import Backend
 from ..config import AnsatzConfig, SimulationConfig
-from ..exceptions import KernelError
+from ..engine import EngineConfig, EngineResult, KernelEngine
 from ..mps import MPS
 
 __all__ = ["QuantumKernel", "QuantumKernelResult"]
@@ -56,19 +58,40 @@ class QuantumKernelResult:
         """Modelled device total."""
         return self.modelled_simulation_time_s + self.modelled_inner_product_time_s
 
+    @classmethod
+    def from_engine_result(cls, result: EngineResult) -> "QuantumKernelResult":
+        """Project an :class:`~repro.engine.EngineResult` onto this record."""
+        return cls(
+            matrix=result.matrix,
+            simulation_time_s=result.simulation_time_s,
+            inner_product_time_s=result.inner_product_time_s,
+            modelled_simulation_time_s=result.modelled_simulation_time_s,
+            modelled_inner_product_time_s=result.modelled_inner_product_time_s,
+            max_bond_dimension=result.max_bond_dimension,
+            total_state_memory_bytes=result.total_state_memory_bytes,
+            num_simulations=result.num_simulations,
+            num_inner_products=result.num_inner_products,
+        )
+
 
 class QuantumKernel:
-    """Quantum fidelity kernel backed by an MPS simulation backend.
+    """Quantum fidelity kernel backed by the unified :class:`KernelEngine`.
 
     Parameters
     ----------
     ansatz:
         Feature-map hyper-parameters (``m``, ``d``, ``r``, ``gamma``).
     backend:
-        Simulation backend; defaults to a fresh :class:`CpuBackend`.
+        Simulation backend; defaults to a fresh CPU backend.
     simulation:
         Simulation configuration forwarded to a default backend when one is
         not supplied explicitly.
+    engine:
+        A pre-built engine to share (overrides ``backend`` / ``simulation`` /
+        ``engine_config``); used by the inference service so that kernel and
+        serving paths share one state cache.
+    engine_config:
+        Engine knobs (executor, cache, batch size) for an engine built here.
     """
 
     def __init__(
@@ -76,26 +99,29 @@ class QuantumKernel:
         ansatz: AnsatzConfig,
         backend: Backend | None = None,
         simulation: SimulationConfig | None = None,
+        engine: KernelEngine | None = None,
+        engine_config: EngineConfig | None = None,
     ) -> None:
         self.ansatz = ansatz
-        if backend is None:
-            backend = CpuBackend(simulation)
-        self.backend = backend
+        if engine is None:
+            engine = KernelEngine(
+                ansatz,
+                backend=backend,
+                simulation=simulation,
+                config=engine_config,
+            )
+        self.engine = engine
+        self.backend = engine.backend
 
     # ------------------------------------------------------------------
     def encode(self, X: np.ndarray) -> List[MPS]:
         """Simulate the feature-map circuit for every row of ``X``.
 
         ``X`` must already be scaled to the feature map's ``(0, 2)`` interval
-        and have ``ansatz.num_features`` columns.  Returns one MPS per row.
+        and have ``ansatz.num_features`` columns.  Returns one MPS per row
+        (served from the engine's state store when caching is enabled).
         """
-        X = self._validate_features(X)
-        states: List[MPS] = []
-        for row in X:
-            circuit = build_feature_map_circuit(row, self.ansatz)
-            result = self.backend.simulate(circuit)
-            states.append(result.state)
-        return states
+        return self.engine.encode_rows(X)
 
     def encode_one(self, x: np.ndarray) -> MPS:
         """Simulate the feature-map circuit for a single data point."""
@@ -105,15 +131,7 @@ class QuantumKernel:
     # ------------------------------------------------------------------
     def gram_matrix(self, X: np.ndarray) -> QuantumKernelResult:
         """Symmetric training Gram matrix ``K_ij = |<psi_i|psi_j>|^2``."""
-        self.backend.reset_counters()
-        states = self.encode(X)
-        n = len(states)
-        K = np.eye(n)
-        for i in range(n):
-            for j in range(i + 1, n):
-                overlap = self.backend.inner_product(states[i], states[j])
-                K[i, j] = K[j, i] = abs(overlap.value) ** 2
-        return self._result(K, states)
+        return QuantumKernelResult.from_engine_result(self.engine.gram(X))
 
     def cross_matrix(
         self, X_test: np.ndarray, train_states: Sequence[MPS]
@@ -123,16 +141,9 @@ class QuantumKernel:
         Returns a matrix of shape ``(n_test, n_train)`` -- the layout
         :meth:`repro.svm.PrecomputedKernelSVC.decision_function` expects.
         """
-        if not train_states:
-            raise KernelError("train_states must not be empty")
-        self.backend.reset_counters()
-        test_states = self.encode(X_test)
-        K = np.zeros((len(test_states), len(train_states)))
-        for i, ts in enumerate(test_states):
-            for j, trs in enumerate(train_states):
-                overlap = self.backend.inner_product(ts, trs)
-                K[i, j] = abs(overlap.value) ** 2
-        return self._result(K, test_states)
+        return QuantumKernelResult.from_engine_result(
+            self.engine.cross(X_test, train_states)
+        )
 
     def train_test_matrices(
         self, X_train: np.ndarray, X_test: np.ndarray
@@ -141,48 +152,11 @@ class QuantumKernel:
 
         Training states are simulated once and reused for the cross matrix,
         matching the paper's inference procedure (simulate only the new
-        points, reuse the stored training MPS).
+        points, reuse the stored training MPS).  Both halves route through
+        the same engine plans as :meth:`gram_matrix` / :meth:`cross_matrix`.
         """
-        self.backend.reset_counters()
-        train_states = self.encode(X_train)
-        n = len(train_states)
-        K_train = np.eye(n)
-        for i in range(n):
-            for j in range(i + 1, n):
-                overlap = self.backend.inner_product(train_states[i], train_states[j])
-                K_train[i, j] = K_train[j, i] = abs(overlap.value) ** 2
-        train_result = self._result(K_train, train_states)
-
-        test_result = self.cross_matrix(X_test, train_states)
-        return train_result, test_result
-
-    # ------------------------------------------------------------------
-    def _validate_features(self, X: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X[None, :]
-        if X.ndim != 2:
-            raise KernelError(f"feature matrix must be 2-D, got shape {X.shape}")
-        if X.shape[1] != self.ansatz.num_features:
-            raise KernelError(
-                f"expected {self.ansatz.num_features} features, got {X.shape[1]}"
-            )
-        if X.shape[0] == 0:
-            raise KernelError("feature matrix has no rows")
-        return X
-
-    def _result(self, K: np.ndarray, states: Sequence[MPS]) -> QuantumKernelResult:
-        summary = self.backend.timing_summary()
-        return QuantumKernelResult(
-            matrix=K,
-            simulation_time_s=summary["wall_simulation_time_s"],
-            inner_product_time_s=summary["wall_inner_product_time_s"],
-            modelled_simulation_time_s=summary["modelled_simulation_time_s"],
-            modelled_inner_product_time_s=summary["modelled_inner_product_time_s"],
-            max_bond_dimension=max(
-                (s.max_bond_dimension for s in states), default=1
-            ),
-            total_state_memory_bytes=sum(s.memory_bytes for s in states),
-            num_simulations=int(summary["num_simulations"]),
-            num_inner_products=int(summary["num_inner_products"]),
+        train_result, test_result = self.engine.gram_and_cross(X_train, X_test)
+        return (
+            QuantumKernelResult.from_engine_result(train_result),
+            QuantumKernelResult.from_engine_result(test_result),
         )

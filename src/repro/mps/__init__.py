@@ -32,6 +32,7 @@ from .gates import (
 )
 from .truncation import TruncationPolicy, TruncationRecord, truncate_singular_values
 from .mps import MPS
+from .batched import batched_overlaps, group_pairs_by_shape, pair_shape_signature
 from .instrumented import InstrumentedMPS, MemoryTrace, MemorySample
 
 __all__ = [
@@ -42,6 +43,9 @@ __all__ = [
     "TruncationPolicy",
     "TruncationRecord",
     "truncate_singular_values",
+    "batched_overlaps",
+    "group_pairs_by_shape",
+    "pair_shape_signature",
     "hadamard",
     "identity2",
     "pauli_x",

@@ -67,19 +67,23 @@ class KernelWorker:
         if time_source not in ("wall", "modelled"):
             raise ParallelError(f"unknown time_source {time_source!r}")
         self.kernel = kernel
+        self.engine = kernel.engine
         self.X = X
         self.time_source = time_source
         self.num_points = X.shape[0]
 
     # ------------------------------------------------------------------
     def simulate(self, index: int) -> Tuple[MPS, float]:
-        """Encode data point ``index``; returns the MPS and the charged time."""
+        """Encode data point ``index``; returns the MPS and the charged time.
+
+        Uses the engine's *uncached* simulation path on purpose: the
+        strategies charge every re-simulation to the process performing it
+        (that duplication is exactly what the no-messaging strategy trades
+        communication for), so a shared cache would falsify the accounting.
+        """
         if not (0 <= index < self.num_points):
             raise ParallelError(f"data index {index} out of range")
-        from ..circuits import build_feature_map_circuit
-
-        circuit = build_feature_map_circuit(self.X[index], self.kernel.ansatz)
-        result = self.kernel.backend.simulate(circuit)
+        result = self.engine.simulate_row(self.X[index])
         seconds = (
             result.modelled_time_s if self.time_source == "modelled" else result.wall_time_s
         )
@@ -87,7 +91,7 @@ class KernelWorker:
 
     def inner_product(self, state_a: MPS, state_b: MPS) -> Tuple[float, float]:
         """Kernel entry ``|<a|b>|^2`` and the charged time."""
-        result = self.kernel.backend.inner_product(state_a, state_b)
+        result = self.engine.backend.inner_product(state_a, state_b)
         seconds = (
             result.modelled_time_s if self.time_source == "modelled" else result.wall_time_s
         )

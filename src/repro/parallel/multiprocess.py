@@ -8,8 +8,11 @@ execution on the local machine using :mod:`concurrent.futures`:
 * the kernel matrix is tiled exactly as in the no-messaging strategy
   (each worker re-simulates the circuits its tile needs, so no MPS ever has
   to cross a process boundary);
-* each tile is dispatched to a process-pool worker; workers return plain
-  ``(row, col, value)`` triples that the parent assembles.
+* each worker builds its own per-process :class:`repro.engine.KernelEngine`
+  and evaluates the tile through the engine's plan/batched-overlap path --
+  the same compute core the sequential kernel uses;
+* workers return plain ``(row, col, value)`` triples plus a flat accounting
+  dictionary that the parent aggregates.
 
 This mirrors how the paper exploits the embarrassing parallelism of the Gram
 matrix, and gives a genuine wall-clock speed-up on multi-core machines.  The
@@ -22,7 +25,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -32,6 +35,18 @@ from .tiling import Tile, square_tiling
 
 __all__ = ["MultiprocessGramComputer", "compute_tile_entries"]
 
+#: Accounting keys aggregated (by summation, except max-reductions) across
+#: worker tiles by :meth:`MultiprocessGramComputer.compute_with_stats`.
+_SUM_KEYS = (
+    "wall_simulation_time_s",
+    "wall_inner_product_time_s",
+    "modelled_simulation_time_s",
+    "modelled_inner_product_time_s",
+    "num_simulations",
+    "num_inner_products",
+)
+_MAX_KEYS = ("max_bond_dimension",)
+
 
 def compute_tile_entries(
     X: np.ndarray,
@@ -40,44 +55,74 @@ def compute_tile_entries(
     row_indices: Tuple[int, ...],
     col_indices: Tuple[int, ...],
     symmetric_diagonal: bool,
-) -> List[Tuple[int, int, float]]:
+    with_stats: bool = False,
+    backend_name: str = "cpu",
+) -> Any:
     """Worker entry point: compute the kernel entries of one tile.
 
     Runs inside a worker process, so it only receives picklable primitives
     (the scaled feature matrix and plain keyword dictionaries) and returns
     plain triples.  Each worker simulates every circuit its tile touches --
-    the no-messaging trade-off.
+    the no-messaging trade-off -- and evaluates the tile's overlap jobs
+    through a per-process :class:`~repro.engine.KernelEngine` (batched einsum
+    path, engine-owned symmetry handling).
+
+    When ``with_stats`` is true the return value is ``(entries, stats)``
+    where ``stats`` carries the worker's timing/bond-dimension accounting.
     """
     # Imports kept inside the function so the worker initialises quickly even
     # under spawn-based multiprocessing start methods.
-    from ..backends import CpuBackend
-    from ..circuits import build_feature_map_circuit
+    from ..backends import get_backend
+    from ..engine import CrossGramPlan, KernelEngine, SymmetricGramPlan
 
     ansatz = AnsatzConfig(**ansatz_kwargs)
     sim_kwargs = dict(simulation_kwargs)
     if "dtype" in sim_kwargs and isinstance(sim_kwargs["dtype"], str):
         sim_kwargs["dtype"] = np.dtype(sim_kwargs["dtype"])
-    backend = CpuBackend(SimulationConfig(**sim_kwargs))
+    backend = get_backend(backend_name, SimulationConfig(**sim_kwargs))
+    engine = KernelEngine(ansatz, backend=backend)
 
     needed = sorted(set(row_indices) | set(col_indices))
-    states = {}
-    for idx in needed:
-        circuit = build_feature_map_circuit(X[idx], ansatz)
-        states[idx] = backend.simulate(circuit).state
+    states = {idx: engine.encode_row(X[idx]) for idx in needed}
 
     entries: List[Tuple[int, int, float]] = []
     if symmetric_diagonal:
+        # A diagonal tile is the symmetric Gram plan of its own index block.
         idx = list(row_indices)
-        for a in range(len(idx)):
-            for b in range(a + 1, len(idx)):
-                value = abs(backend.inner_product(states[idx[a]], states[idx[b]]).value) ** 2
-                entries.append((idx[a], idx[b], value))
+        plan = SymmetricGramPlan(len(idx))
+        tile_matrix = engine.execute_plan(plan, [states[i] for i in idx])
+        for job in plan.jobs():
+            entries.append((idx[job.row], idx[job.col], float(tile_matrix[job.row, job.col])))
     else:
-        for r in row_indices:
-            for c in col_indices:
-                value = abs(backend.inner_product(states[r], states[c]).value) ** 2
-                entries.append((r, c, value))
-    return entries
+        plan = CrossGramPlan(len(row_indices), len(col_indices))
+        tile_matrix = engine.execute_plan(
+            plan,
+            [states[i] for i in row_indices],
+            [states[j] for j in col_indices],
+        )
+        for job in plan.jobs():
+            entries.append(
+                (
+                    row_indices[job.row],
+                    col_indices[job.col],
+                    float(tile_matrix[job.row, job.col]),
+                )
+            )
+
+    if not with_stats:
+        return entries
+
+    summary = engine.backend.timing_summary()
+    stats = {key: float(summary[key]) for key in _SUM_KEYS if key in summary}
+    # Memory is reported per data-point index so the parent can deduplicate
+    # across tiles (a point touched by several tiles is one stored MPS).
+    stats["state_memory_by_index"] = {
+        idx: int(s.memory_bytes) for idx, s in states.items()
+    }
+    stats["max_bond_dimension"] = float(
+        max((s.max_bond_dimension for s in states.values()), default=1)
+    )
+    return entries, stats
 
 
 @dataclass
@@ -96,12 +141,17 @@ class MultiprocessGramComputer:
         platforms where process pools are undesirable).
     num_blocks:
         Side length of the tile grid; defaults to roughly one tile per worker.
+    backend_name:
+        Registry name of the backend each worker builds (``"cpu"`` /
+        ``"gpu"``); the numerics are backend-independent but the modelled
+        device times are not.
     """
 
     ansatz: AnsatzConfig
     simulation: SimulationConfig | None = None
     max_workers: int | None = None
     num_blocks: int | None = None
+    backend_name: str = "cpu"
 
     def _ansatz_kwargs(self) -> Dict[str, Any]:
         return self.ansatz.to_dict()
@@ -126,6 +176,16 @@ class MultiprocessGramComputer:
 
     def compute(self, X: np.ndarray) -> np.ndarray:
         """Return the symmetric Gram matrix of the scaled feature matrix ``X``."""
+        matrix, _stats = self.compute_with_stats(X)
+        return matrix
+
+    def compute_with_stats(self, X: np.ndarray) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Gram matrix plus aggregated per-worker accounting.
+
+        Wall and modelled times are summed across workers (total busy time,
+        including duplicated simulations -- the no-messaging trade-off);
+        ``max_bond_dimension`` is the maximum across tiles.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[0] < 2:
             raise ParallelError("X must be a 2-D matrix with at least two rows")
@@ -148,6 +208,8 @@ class MultiprocessGramComputer:
                 tile.row_indices,
                 tile.col_indices,
                 tile.symmetric_diagonal,
+                True,
+                self.backend_name,
             )
             for tile in tiles
         ]
@@ -159,7 +221,18 @@ class MultiprocessGramComputer:
                 futures = [pool.submit(compute_tile_entries, *job) for job in jobs]
                 results = [f.result() for f in futures]
 
-        for entries in results:
+        stats: Dict[str, float] = {key: 0.0 for key in _SUM_KEYS}
+        stats.update({key: 1.0 for key in _MAX_KEYS})
+        memory_by_index: Dict[int, int] = {}
+        for entries, tile_stats in results:
             for (i, j, value) in entries:
                 matrix[i, j] = matrix[j, i] = value
-        return matrix
+            for key in _SUM_KEYS:
+                stats[key] += tile_stats.get(key, 0.0)
+            for key in _MAX_KEYS:
+                stats[key] = max(stats[key], tile_stats.get(key, 1.0))
+            memory_by_index.update(tile_stats.get("state_memory_by_index", {}))
+        # Each data point counts once, matching the sequential path, even
+        # though several tiles may have re-simulated it.
+        stats["total_state_memory_bytes"] = float(sum(memory_by_index.values()))
+        return matrix, stats

@@ -21,6 +21,13 @@ Round-robin (Fig. 4b)
 The strategies are deterministic and single-threaded; "parallel" wall-clock
 times are computed as the per-phase maximum over processes, which is what an
 actual synchronous MPI run would observe.
+
+The per-pair loops below are *strategy internals*: they model which process
+evaluates which entry at which ring step, so the iteration order is the
+message schedule itself.  The primitives they drive come from the worker
+(see :class:`repro.parallel.executor.KernelWorker`), which dispatches through
+the unified :class:`repro.engine.KernelEngine`; every other consumer in the
+library routes its pairwise loops through engine plans.
 """
 
 from __future__ import annotations

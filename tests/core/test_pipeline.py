@@ -64,6 +64,13 @@ def test_projected_pipeline(split, ansatz):
     result = pipeline.run(X_train, y_train, X_test, y_test)
     assert result.kernel_name == "projected"
     assert 0.0 <= result.test_auc <= 1.0
+    # The projected kernel reports resource accounting like the fidelity
+    # kernel: simulation counts/timing and bond-dimension statistics.
+    n_train, n_test = X_train.shape[0], X_test.shape[0]
+    assert result.resource_metrics["num_simulations"] == n_train + n_test
+    assert result.resource_metrics["max_bond_dimension"] >= 1
+    assert result.resource_metrics["simulation_time_s"] > 0
+    assert result.resource_metrics["train_state_memory_bytes"] > 0
 
 
 def test_pipeline_with_gpu_backend_matches_cpu(split, ansatz):

@@ -1,0 +1,122 @@
+"""Unit tests for the content-addressed MPS state store."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig, SimulationConfig
+from repro.engine import (
+    StateStore,
+    ansatz_fingerprint,
+    simulation_fingerprint,
+    state_key,
+)
+from repro.exceptions import EngineError
+from repro.mps import MPS
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=4, interaction_distance=1, layers=2, gamma=0.5)
+
+
+def _product_state(num_qubits: int) -> MPS:
+    return MPS.plus_state(num_qubits)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_identical_feature_row_gives_identical_key(ansatz):
+    fp_a = ansatz_fingerprint(ansatz)
+    fp_s = simulation_fingerprint(SimulationConfig())
+    row = np.array([0.1, 0.2, 0.3, 0.4])
+    # Same values from a different array object / layout still collide.
+    row_copy = np.asarray(list(row))
+    assert state_key(row, fp_a, fp_s) == state_key(row_copy, fp_a, fp_s)
+
+
+def test_key_changes_with_data_ansatz_and_truncation(ansatz):
+    fp_a = ansatz_fingerprint(ansatz)
+    fp_s = simulation_fingerprint(SimulationConfig())
+    row = np.array([0.1, 0.2, 0.3, 0.4])
+    base = state_key(row, fp_a, fp_s)
+
+    assert state_key(row + 1e-9, fp_a, fp_s) != base
+
+    other_ansatz = AnsatzConfig(
+        num_features=4, interaction_distance=1, layers=3, gamma=0.5
+    )
+    assert state_key(row, ansatz_fingerprint(other_ansatz), fp_s) != base
+
+    other_sim = simulation_fingerprint(SimulationConfig(truncation_cutoff=1e-8))
+    assert state_key(row, fp_a, other_sim) != base
+
+
+# ----------------------------------------------------------------------
+# Hit / miss accounting
+# ----------------------------------------------------------------------
+def test_store_hit_and_miss_statistics():
+    store = StateStore()
+    state = _product_state(3)
+    assert store.get("k1") is None  # miss
+    store.put("k1", state)
+    assert store.get("k1") is state  # hit
+    stats = store.stats()
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert stats.lookups == 2
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.num_entries == 1
+    assert stats.bytes_in_use == state.memory_bytes
+
+
+def test_store_len_and_contains():
+    store = StateStore()
+    store.put("a", _product_state(2))
+    assert len(store) == 1
+    assert "a" in store and "b" not in store
+    store.clear()
+    assert len(store) == 0
+    assert store.bytes_in_use == 0
+
+
+# ----------------------------------------------------------------------
+# LRU eviction under a byte budget
+# ----------------------------------------------------------------------
+def test_lru_eviction_under_byte_budget():
+    one_state_bytes = _product_state(3).memory_bytes
+    store = StateStore(max_bytes=2 * one_state_bytes)
+    store.put("a", _product_state(3))
+    store.put("b", _product_state(3))
+    assert len(store) == 2
+
+    # Touch "a" so "b" becomes least recently used, then overflow.
+    assert store.get("a") is not None
+    store.put("c", _product_state(3))
+    assert len(store) == 2
+    assert "a" in store and "c" in store
+    assert "b" not in store
+    assert store.stats().evictions == 1
+    assert store.bytes_in_use <= 2 * one_state_bytes
+
+
+def test_state_larger_than_budget_is_not_retained():
+    small = _product_state(2)
+    store = StateStore(max_bytes=small.memory_bytes)
+    store.put("big", _product_state(8))  # bigger than the whole budget
+    assert len(store) == 0
+    store.put("small", small)
+    assert "small" in store
+
+
+def test_put_refreshes_existing_entry_without_double_counting():
+    store = StateStore()
+    store.put("k", _product_state(3))
+    store.put("k", _product_state(3))
+    assert len(store) == 1
+    assert store.bytes_in_use == _product_state(3).memory_bytes
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(EngineError):
+        StateStore(max_bytes=-1)

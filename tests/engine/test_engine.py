@@ -1,0 +1,161 @@
+"""Unit tests for the KernelEngine facade: executors, caching, reuse."""
+
+import numpy as np
+import pytest
+
+from repro.backends import CpuBackend
+from repro.config import AnsatzConfig
+from repro.core import QuantumKernelInferenceEngine
+from repro.engine import (
+    CrossGramPlan,
+    EngineConfig,
+    KernelEngine,
+    StateStore,
+    SymmetricGramPlan,
+)
+from repro.exceptions import EngineError, KernelError
+
+
+@pytest.fixture
+def ansatz():
+    return AnsatzConfig(num_features=4, interaction_distance=2, layers=2, gamma=0.8)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0.1, 1.9, size=(6, 4))
+
+
+def _reference_gram(ansatz, X):
+    """Hand-rolled sequential double loop, bypassing all engine machinery."""
+    from repro.circuits import build_feature_map_circuit
+
+    backend = CpuBackend()
+    states = [
+        backend.simulate(build_feature_map_circuit(row, ansatz)).state for row in X
+    ]
+    n = len(states)
+    K = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            K[i, j] = K[j, i] = abs(states[i].inner_product(states[j])) ** 2
+    return K, states
+
+
+def test_engine_gram_matches_reference_exactly(ansatz, X):
+    K_ref, _ = _reference_gram(ansatz, X)
+    result = KernelEngine(ansatz).gram(X)
+    assert np.allclose(result.matrix, K_ref, atol=1e-12)
+    assert result.num_simulations == X.shape[0]
+    assert result.num_inner_products == X.shape[0] * (X.shape[0] - 1) // 2
+    assert len(result.states) == X.shape[0]
+
+
+def test_all_executors_agree(ansatz, X):
+    K_ref, _ = _reference_gram(ansatz, X)
+    for config in (
+        EngineConfig(executor="sequential", batch_size=4),
+        EngineConfig(executor="tiled", num_blocks=3),
+        EngineConfig(executor="multiprocess", max_workers=1),
+    ):
+        K = KernelEngine(ansatz, config=config).gram(X).matrix
+        assert np.allclose(K, K_ref, atol=1e-12), config.executor
+
+
+def test_cross_plan_matches_gram_block(ansatz, X):
+    engine = KernelEngine(ansatz)
+    train_result = engine.gram(X[:4])
+    cross = engine.cross(X[4:], train_result.states)
+    full = engine.gram(X).matrix
+    assert cross.matrix.shape == (2, 4)
+    assert np.allclose(cross.matrix, full[4:, :4], atol=1e-12)
+
+
+def test_execute_plan_validates_state_counts(ansatz, X):
+    engine = KernelEngine(ansatz)
+    states = engine.encode_rows(X[:3])
+    with pytest.raises(EngineError):
+        engine.execute_plan(SymmetricGramPlan(5), states)
+    with pytest.raises(EngineError):
+        engine.execute_plan(CrossGramPlan(2, 5), states[:2], states)
+    with pytest.raises(KernelError):
+        engine.cross(X[:1], [])
+
+
+def test_engine_config_validation():
+    with pytest.raises(EngineError):
+        EngineConfig(executor="quantum-teleport")
+    with pytest.raises(EngineError):
+        EngineConfig(batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+# ----------------------------------------------------------------------
+def test_cached_engine_never_resimulates_known_rows(ansatz, X):
+    engine = KernelEngine(ansatz, config=EngineConfig(use_cache=True))
+    first = engine.gram(X)
+    assert first.num_simulations == X.shape[0]
+    assert first.cache_misses == X.shape[0]
+    assert first.cache_hits == 0
+
+    second = engine.gram(X)
+    assert second.num_simulations == 0
+    assert second.cache_hits == X.shape[0]
+    assert np.allclose(first.matrix, second.matrix, atol=1e-15)
+
+
+def test_shared_store_across_engines(ansatz, X):
+    store = StateStore()
+    engine_a = KernelEngine(ansatz, store=store)
+    engine_b = KernelEngine(ansatz, store=store)
+    engine_a.gram(X)
+    result = engine_b.gram(X)
+    assert result.num_simulations == 0
+    assert result.cache_hits == X.shape[0]
+
+
+def test_cache_respects_ansatz_changes(X, ansatz):
+    store = StateStore()
+    other = AnsatzConfig(num_features=4, interaction_distance=2, layers=3, gamma=0.8)
+    KernelEngine(ansatz, store=store).gram(X)
+    result = KernelEngine(other, store=store).gram(X)
+    # Different ansatz -> different keys -> all misses, all re-simulated.
+    assert result.num_simulations == X.shape[0]
+    assert result.cache_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Train-then-infer reuse (the acceptance scenario)
+# ----------------------------------------------------------------------
+def test_train_then_infer_reuses_cached_states(small_dataset):
+    from repro.data import select_features
+    from repro.svm import train_test_split
+
+    X = select_features(small_dataset.features, 5)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, small_dataset.labels, test_fraction=0.25, seed=4
+    )
+    ansatz = AnsatzConfig(num_features=5, interaction_distance=1, layers=2, gamma=0.5)
+
+    cached = QuantumKernelInferenceEngine(ansatz, C=2.0, use_cache=True)
+    cached.fit(X_train, y_train)
+    baseline = QuantumKernelInferenceEngine(ansatz, C=2.0, use_cache=False)
+    baseline.fit(X_train, y_train)
+
+    # Classify points the engine has already encoded (training rows).
+    repeat = X_train[:3]
+    cached_result = cached.kernel_rows(repeat)
+    baseline_result = baseline.kernel_rows(repeat)
+
+    assert cached_result.cache_hits >= 1
+    assert cached_result.num_simulations == 0
+    assert cached_result.num_simulations < baseline_result.num_simulations
+    assert np.allclose(
+        cached_result.kernel_rows, baseline_result.kernel_rows, atol=1e-12
+    )
+    assert np.array_equal(cached_result.predictions, baseline_result.predictions)
+
+    stats = cached.cache_stats()
+    assert stats is not None and stats.hits >= 3
+    assert baseline.cache_stats() is None

@@ -1,0 +1,80 @@
+"""Property-based tests for the unified kernel engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.backends import CpuBackend
+from repro.circuits import build_feature_map_circuit
+from repro.config import AnsatzConfig
+from repro.engine import EngineConfig, KernelEngine, SymmetricGramPlan
+from repro.kernels import is_positive_semidefinite
+
+
+ANSATZ = AnsatzConfig(num_features=3, interaction_distance=1, layers=1, gamma=0.6)
+
+feature_rows = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 4), st.just(3)),
+    elements=st.floats(min_value=0.05, max_value=1.95, allow_nan=False),
+)
+
+
+def _reference_gram(X):
+    """Sequential double loop over raw MPS inner products (no engine)."""
+    backend = CpuBackend()
+    states = [
+        backend.simulate(build_feature_map_circuit(row, ANSATZ)).state for row in X
+    ]
+    n = len(states)
+    K = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            K[i, j] = K[j, i] = abs(states[i].inner_product(states[j])) ** 2
+    return K
+
+
+@given(feature_rows)
+@settings(max_examples=15, deadline=None)
+def test_engine_gram_is_symmetric_unit_diagonal_and_matches_reference(X):
+    result = KernelEngine(ANSATZ, config=EngineConfig(batch_size=3)).gram(X)
+    K = result.matrix
+    n = X.shape[0]
+    assert K.shape == (n, n)
+    assert np.array_equal(K, K.T)  # mirroring is exact, not approximate
+    assert np.allclose(np.diag(K), 1.0, atol=1e-12)
+    assert np.all(K >= -1e-12) and np.all(K <= 1.0 + 1e-12)
+    assert is_positive_semidefinite(K, atol=1e-7)
+    assert np.allclose(K, _reference_gram(X), atol=1e-12)
+
+
+@given(feature_rows, st.integers(1, 7))
+@settings(max_examples=10, deadline=None)
+def test_batch_size_never_changes_the_result(X, batch_size):
+    base = KernelEngine(ANSATZ).gram(X).matrix
+    chunked = KernelEngine(
+        ANSATZ, config=EngineConfig(batch_size=batch_size)
+    ).gram(X).matrix
+    assert np.allclose(base, chunked, atol=1e-13)
+
+
+@given(feature_rows)
+@settings(max_examples=10, deadline=None)
+def test_cached_engine_matches_uncached_engine(X):
+    uncached = KernelEngine(ANSATZ).gram(X).matrix
+    engine = KernelEngine(ANSATZ, config=EngineConfig(use_cache=True))
+    engine.gram(X)  # warm the store
+    cached = engine.gram(X)
+    assert cached.num_simulations == 0
+    assert np.allclose(cached.matrix, uncached, atol=1e-13)
+
+
+@given(st.integers(2, 8))
+@settings(max_examples=20, deadline=None)
+def test_symmetric_plan_covers_strict_upper_triangle_exactly_once(n):
+    plan = SymmetricGramPlan(n)
+    covered = np.zeros((n, n), dtype=int)
+    for job in plan.jobs():
+        covered[job.row, job.col] += 1
+    assert np.array_equal(covered, np.triu(np.ones((n, n), dtype=int), k=1))
+    assert plan.num_pairs == n * (n - 1) // 2

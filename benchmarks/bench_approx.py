@@ -1,0 +1,169 @@
+"""Approximation benchmark smoke: exact vs Nystrom at a fixed rank.
+
+Runs the acceptance workload of the low-rank subsystem -- ``n >= 512``
+training points, ``m = 64`` landmarks -- once through the exact quadratic
+path (full Gram + SMO) and once through the Nystrom path (landmark Gram +
+cross block + primal linear SVM), and writes ``BENCH_approx.json`` with the
+engine pair counts, end-to-end wall times and the test-AUC gap.  CI uploads
+the file next to ``BENCH_engine.json`` so the scaling trajectory is tracked
+per PR.
+
+The script exits non-zero when any of the subsystem's contracts break:
+
+* the Nystrom fit must issue at most ``n m + m^2`` engine pair evaluations
+  (the exact path needs ``n (n - 1) / 2`` for the Gram matrix alone);
+* its end-to-end wall time must be lower than the exact path's;
+* its test AUC must land within 0.05 of the exact quantum-kernel AUC.
+
+Run with:  python benchmarks/bench_approx.py [--out BENCH_approx.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.approx import LinearSVC, NystroemConfig, NystroemFeatureMap
+from repro.config import AnsatzConfig
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
+from repro.engine import EngineConfig, KernelEngine
+from repro.svm import (
+    FeatureScaler,
+    PrecomputedKernelSVC,
+    roc_auc_score,
+    train_test_split,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_approx.json"))
+    parser.add_argument("--train-size", type=int, default=512)
+    parser.add_argument("--test-size", type=int, default=128)
+    parser.add_argument("--landmarks", type=int, default=64)
+    parser.add_argument("--strategy", default="greedy")
+    parser.add_argument("--features", type=int, default=6)
+    parser.add_argument("--svm-c", type=float, default=1.0)
+    parser.add_argument("--max-auc-gap", type=float, default=0.05)
+    args = parser.parse_args()
+
+    n, m = args.train_size, args.landmarks
+    total = n + args.test_size
+    data = balanced_subsample(
+        generate_elliptic_like(
+            DatasetSpec(
+                num_samples=3 * total,
+                num_features=args.features,
+                positive_fraction=0.4,
+                seed=7,
+            )
+        ),
+        total,
+        seed=3,
+    )
+    X_train, X_test, y_train, y_test = train_test_split(
+        data.features, data.labels, test_fraction=args.test_size / total, seed=0
+    )
+    scaler = FeatureScaler()
+    Xs_train = scaler.fit_transform(X_train)
+    Xs_test = scaler.transform(X_test)
+    ansatz = AnsatzConfig(
+        num_features=args.features, interaction_distance=1, layers=2, gamma=0.5
+    )
+
+    # ------------------------------------------------------------------
+    # Exact path: full Gram + cross matrix + SMO dual solver.
+    # ------------------------------------------------------------------
+    start = time.perf_counter()
+    exact_engine = KernelEngine(ansatz, config=EngineConfig(use_cache=True))
+    train_result, test_result = exact_engine.gram_and_cross(Xs_train, Xs_test)
+    exact_model = PrecomputedKernelSVC(C=args.svm_c).fit(train_result.matrix, y_train)
+    exact_scores = exact_model.decision_function(test_result.matrix)
+    exact_elapsed = time.perf_counter() - start
+    exact_auc = roc_auc_score(y_test, exact_scores)
+    exact_pairs = train_result.num_inner_products + test_result.num_inner_products
+
+    # ------------------------------------------------------------------
+    # Nystrom path: landmark Gram + cross block + primal linear SVM.
+    # ------------------------------------------------------------------
+    start = time.perf_counter()
+    approx_engine = KernelEngine(ansatz, config=EngineConfig(use_cache=True))
+    fmap = NystroemFeatureMap(
+        approx_engine, NystroemConfig(num_landmarks=m, strategy=args.strategy)
+    )
+    phi_train = fmap.fit_transform(Xs_train)
+    approx_model = LinearSVC(C=args.svm_c).fit(phi_train, y_train)
+    phi_test = fmap.transform(Xs_test)
+    approx_scores = approx_model.decision_function(phi_test)
+    approx_elapsed = time.perf_counter() - start
+    approx_auc = roc_auc_score(y_test, approx_scores)
+
+    pair_budget = n * m + m * m
+    payload = {
+        "benchmark": "approx_smoke",
+        "version": __version__,
+        "python": platform.python_version(),
+        "config": {
+            "train_size": n,
+            "test_size": int(X_test.shape[0]),
+            "num_landmarks": m,
+            "strategy": args.strategy,
+            "num_features": args.features,
+            "svm_c": args.svm_c,
+        },
+        "exact": {
+            "elapsed_s": exact_elapsed,
+            "pairs": int(exact_pairs),
+            "gram_pairs": int(train_result.num_inner_products),
+            "auc": exact_auc,
+        },
+        "nystroem": {
+            "elapsed_s": approx_elapsed,
+            "fit_pairs": int(fmap.report.fit_pair_evaluations),
+            "transform_pairs": int(fmap.report.transform_pair_evaluations),
+            "pair_budget": int(pair_budget),
+            "spectral_rank": int(fmap.rank_),
+            "auc": approx_auc,
+        },
+        "delta": {
+            "speedup": exact_elapsed / approx_elapsed if approx_elapsed > 0 else None,
+            "pair_reduction": exact_pairs / fmap.report.num_pair_evaluations,
+            "auc_gap": abs(exact_auc - approx_auc),
+        },
+    }
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    if fmap.report.fit_pair_evaluations > pair_budget:
+        failures.append(
+            f"fit issued {fmap.report.fit_pair_evaluations} pairs, "
+            f"budget is {pair_budget}"
+        )
+    if approx_elapsed >= exact_elapsed:
+        failures.append(
+            f"Nystrom path ({approx_elapsed:.2f}s) not faster than exact "
+            f"({exact_elapsed:.2f}s)"
+        )
+    if abs(exact_auc - approx_auc) > args.max_auc_gap:
+        failures.append(
+            f"AUC gap {abs(exact_auc - approx_auc):.4f} exceeds "
+            f"{args.max_auc_gap}"
+        )
+    if failures:
+        raise SystemExit("approximation contract broken: " + "; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ Fitzpatrick; SC 2024).  The package provides:
   (:mod:`repro.engine`),
 * quantum fidelity / projected kernels and a Gaussian baseline
   (:mod:`repro.kernels`),
+* a Nystrom low-rank approximation subsystem -- landmark selection, explicit
+  feature maps, a primal linear SVM and streaming inference
+  (:mod:`repro.approx`),
 * a kernel SVM with metrics and model selection (:mod:`repro.svm`),
 * a synthetic Elliptic-Bitcoin-like dataset (:mod:`repro.data`),
 * distributed Gram-matrix strategies with communication accounting
@@ -49,6 +52,12 @@ from .mps import MPS, InstrumentedMPS, TruncationPolicy
 from .circuits import Circuit, build_feature_map_circuit
 from .kernels import QuantumKernel, GaussianKernel, ProjectedQuantumKernel
 from .svm import PrecomputedKernelSVC
+from .approx import (
+    LinearSVC,
+    NystroemConfig,
+    NystroemFeatureMap,
+    StreamingNystroemClassifier,
+)
 from .backends import CpuBackend, SimulatedGpuBackend, get_backend
 from .core import QuantumKernelPipeline, PipelineResult
 from .core.experiment import ClassificationExperiment, run_classification_experiment
@@ -75,6 +84,10 @@ __all__ = [
     "GaussianKernel",
     "ProjectedQuantumKernel",
     "PrecomputedKernelSVC",
+    "LinearSVC",
+    "NystroemConfig",
+    "NystroemFeatureMap",
+    "StreamingNystroemClassifier",
     "CpuBackend",
     "SimulatedGpuBackend",
     "get_backend",

@@ -1,0 +1,157 @@
+"""Streaming classification on top of a fitted Nystrom feature map.
+
+The serving story of the exact path computes ``n_train`` overlaps per query.
+With a Nystrom model the hot path shrinks to ``m`` overlaps against the
+*cached landmark states* -- one :class:`~repro.engine.plan.KernelRowPlan` per
+arriving batch -- followed by two small matrix products (the ``m x r``
+normalisation and the ``r``-dimensional linear model).  The full training set
+is never touched after fit, so a serving process only has to hold the
+landmark states, the normalisation and the weight vector: constant memory in
+the training-set size.
+
+:class:`StreamingNystroemClassifier` supports both immediate batch
+classification (:meth:`classify`) and record-at-a-time ingestion with
+micro-batching (:meth:`submit` / :meth:`flush`), the pattern a traffic-facing
+service uses to amortise the per-plan overhead at high request rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from ..exceptions import KernelError, SVMError
+from ..svm import FeatureScaler
+from .nystroem import NystroemFeatureMap
+
+__all__ = ["StreamingBatchResult", "StreamingNystroemClassifier"]
+
+
+class _LinearModel(Protocol):
+    """Anything exposing decision values over explicit features."""
+
+    def decision_function(self, Phi: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class StreamingBatchResult:
+    """Classification of one streamed micro-batch plus cost accounting."""
+
+    predictions: np.ndarray
+    decision_values: np.ndarray
+    features: np.ndarray
+    kernel_rows: np.ndarray
+    num_simulations: int
+    num_inner_products: int
+    cache_hits: int
+    cache_misses: int
+    simulation_time_s: float
+    inner_product_time_s: float
+
+    @property
+    def num_points(self) -> int:
+        """Number of classified points in the batch."""
+        return int(self.predictions.shape[0])
+
+
+class StreamingNystroemClassifier:
+    """Classify arriving points with ``m`` overlaps each, never ``n``.
+
+    Parameters
+    ----------
+    feature_map:
+        A *fitted* :class:`~repro.approx.nystroem.NystroemFeatureMap`; its
+        engine and cached landmark states perform all quantum work.
+    model:
+        A fitted linear model over the map's feature space (typically
+        :class:`~repro.approx.linear_svc.LinearSVC`).
+    scaler:
+        Optional :class:`~repro.svm.FeatureScaler` applied to raw rows
+        before encoding (pass the pipeline's fitted scaler to serve raw
+        traffic).
+    buffer_size:
+        Micro-batch size for :meth:`submit`; once this many rows are pending
+        they are flushed through one kernel-row plan.
+    """
+
+    def __init__(
+        self,
+        feature_map: NystroemFeatureMap,
+        model: _LinearModel,
+        scaler: FeatureScaler | None = None,
+        buffer_size: int = 32,
+    ) -> None:
+        if not feature_map.is_fitted:
+            raise KernelError("feature map must be fitted before serving")
+        if buffer_size < 1:
+            raise KernelError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.feature_map = feature_map
+        self.model = model
+        self.scaler = scaler
+        self.buffer_size = buffer_size
+        self._buffer: List[np.ndarray] = []
+        self.num_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of buffered, not-yet-classified rows."""
+        return len(self._buffer)
+
+    def classify(self, X_raw: np.ndarray) -> StreamingBatchResult:
+        """Classify a batch immediately (scaling -> row plan -> linear model)."""
+        X_raw = np.asarray(X_raw, dtype=float)
+        if X_raw.ndim == 1:
+            X_raw = X_raw[None, :]
+        Xs = self.scaler.transform(X_raw) if self.scaler is not None else X_raw
+        phi, engine_result = self.feature_map.transform_result(Xs)
+        decisions = np.asarray(self.model.decision_function(phi)).ravel()
+        self.num_served += phi.shape[0]
+        return StreamingBatchResult(
+            predictions=(decisions > 0).astype(int),
+            decision_values=decisions,
+            features=phi,
+            kernel_rows=engine_result.matrix,
+            num_simulations=engine_result.num_simulations,
+            num_inner_products=engine_result.num_inner_products,
+            cache_hits=engine_result.cache_hits,
+            cache_misses=engine_result.cache_misses,
+            simulation_time_s=engine_result.simulation_time_s,
+            inner_product_time_s=engine_result.inner_product_time_s,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, row: np.ndarray) -> Optional[StreamingBatchResult]:
+        """Buffer one raw feature row; flush when the micro-batch fills.
+
+        The row's width is validated here (against the feature map's
+        ansatz), so malformed traffic is rejected at ingestion and never
+        poisons a buffered batch.  Returns the batch result when this row
+        triggered a flush, else ``None``.
+        """
+        row = np.asarray(row, dtype=float).ravel()
+        expected = self.feature_map.engine.ansatz.num_features
+        if row.size != expected:
+            raise SVMError(
+                f"row has {row.size} features but the service expects {expected}"
+            )
+        self._buffer.append(row)
+        if len(self._buffer) >= self.buffer_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[StreamingBatchResult]:
+        """Classify every buffered row (no-op returning ``None`` when empty).
+
+        The buffer is cleared only after classification succeeds, so a
+        failure (e.g. an engine error) leaves the pending rows intact for
+        retry or inspection.
+        """
+        if not self._buffer:
+            return None
+        batch = np.vstack(self._buffer)
+        result = self.classify(batch)
+        self._buffer.clear()
+        return result

@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from ..approx import LinearSVC, NystroemConfig, NystroemFeatureMap
 from ..backends import Backend
 from ..config import AnsatzConfig, SimulationConfig
 from ..engine import EngineConfig, KernelEngine
@@ -74,6 +75,12 @@ class QuantumKernelInferenceEngine:
         yes, unbounded).  With the cache on, classifying a point that was
         part of the training set -- or was classified before -- performs no
         MPS simulation at all.
+    approximation:
+        A :class:`~repro.approx.NystroemConfig` to back the engine with a
+        low-rank model: training costs ``O(n m)`` engine pairs and serving
+        evaluates ``m`` overlaps per point against the cached landmark
+        states instead of ``n`` against the full training set.  ``tol``
+        applies only to the exact SMO path.
     """
 
     ansatz: AnsatzConfig
@@ -83,10 +90,13 @@ class QuantumKernelInferenceEngine:
     simulation: SimulationConfig | None = None
     use_cache: bool = True
     cache_bytes: int | None = None
+    approximation: NystroemConfig | None = None
     _scaler: FeatureScaler = field(default_factory=FeatureScaler, repr=False)
     _engine: KernelEngine | None = field(default=None, repr=False)
     _train_states: List[MPS] = field(default_factory=list, repr=False)
     _model: PrecomputedKernelSVC | None = field(default=None, repr=False)
+    _feature_map: NystroemFeatureMap | None = field(default=None, repr=False)
+    _linear_model: LinearSVC | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._engine = KernelEngine(
@@ -101,11 +111,20 @@ class QuantumKernelInferenceEngine:
     @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has completed."""
-        return self._model is not None
+        return self._model is not None or self._linear_model is not None
+
+    @property
+    def is_approximate(self) -> bool:
+        """Whether serving goes through the Nystrom low-rank path."""
+        return self.approximation is not None
 
     @property
     def num_training_states(self) -> int:
-        """Number of stored training MPS."""
+        """Number of stored MPS the serving path touches per query.
+
+        The full training set on the exact path; only the landmarks on the
+        Nystrom path.
+        """
         return len(self._train_states)
 
     @property
@@ -122,10 +141,19 @@ class QuantumKernelInferenceEngine:
         """Scale, encode and store the training set, then train the SVM.
 
         Encoding and the symmetric Gram plan both run through the engine, so
-        the training states land in the state store for later inference.
+        the training states land in the state store for later inference.  On
+        the Nystrom path only the landmark Gram and the ``n x m`` cross
+        block are evaluated, and a primal :class:`~repro.approx.LinearSVC`
+        replaces the SMO dual solver.
         """
         X_train = np.asarray(X_train, dtype=float)
         Xs = self._scaler.fit_transform(X_train)
+        if self.approximation is not None:
+            self._feature_map = NystroemFeatureMap(self.engine, self.approximation)
+            phi = self._feature_map.fit_transform(Xs)
+            self._linear_model = LinearSVC(C=self.C).fit(phi, y_train)
+            self._train_states = list(self._feature_map.landmark_states_)
+            return self
         result = self.engine.gram(Xs)
         self._train_states = list(result.states)
         self._model = PrecomputedKernelSVC(C=self.C, tol=self.tol).fit(
@@ -139,16 +167,27 @@ class QuantumKernelInferenceEngine:
             raise SVMError("inference engine is not fitted; call fit() first")
 
     def kernel_rows(self, X_new: np.ndarray) -> InferenceResult:
-        """Kernel rows of new points against the stored training states."""
+        """Kernel rows of new points against the stored states.
+
+        Exact path: rows against every training state, scored by the SMO
+        model.  Nystrom path: rows against the ``m`` landmark states only,
+        mapped through the low-rank normalisation and scored by the linear
+        model -- the full training set is never touched.
+        """
         self._require_fitted()
-        assert self._model is not None
         X_new = np.asarray(X_new, dtype=float)
         if X_new.ndim == 1:
             X_new = X_new[None, :]
         Xs = self._scaler.transform(X_new)
 
-        result = self.engine.kernel_rows(Xs, self._train_states)
-        decisions = self._model.decision_function(result.matrix)
+        if self.approximation is not None:
+            assert self._feature_map is not None and self._linear_model is not None
+            phi, result = self._feature_map.transform_result(Xs)
+            decisions = self._linear_model.decision_function(phi)
+        else:
+            assert self._model is not None
+            result = self.engine.kernel_rows(Xs, self._train_states)
+            decisions = self._model.decision_function(result.matrix)
         return InferenceResult(
             predictions=(decisions > 0).astype(int),
             decision_values=decisions,

@@ -211,8 +211,11 @@ class KernelEngine:
     # ------------------------------------------------------------------
     def _job_stream(self, plan: PairwisePlan) -> Iterable[PairJob]:
         """The plan's jobs in the executor's preferred order."""
-        if self.config.executor == "tiled" and isinstance(plan, SymmetricGramPlan):
-            return self._tiled_jobs(plan)
+        if self.config.executor == "tiled":
+            if isinstance(plan, SymmetricGramPlan):
+                return self._tiled_jobs(plan)
+            if isinstance(plan, CrossGramPlan):
+                return self._tiled_cross_jobs(plan)
         return plan.jobs()
 
     def _tiled_jobs(self, plan: SymmetricGramPlan) -> Iterable[PairJob]:
@@ -227,6 +230,26 @@ class KernelEngine:
         for tile in square_tiling(n, blocks, symmetric=True):
             for (i, j) in tile.entry_pairs():
                 yield PairJob(left=i, right=j, row=i, col=j, mirror=True)
+
+    def _tiled_cross_jobs(self, plan: CrossGramPlan) -> Iterable[PairJob]:
+        """Cross-plan jobs reordered over rectangular tiles.
+
+        Covers test-versus-train matrices and the Nystrom ``K_nm`` landmark
+        block; the tile grid reuses :func:`repro.parallel.tiling.rect_tiling`
+        so the locality order matches what the distributed strategies ship
+        between processes.
+        """
+        from ..parallel.tiling import rect_tiling
+
+        n_rows, n_cols = plan.shape
+        blocks = self.config.num_blocks
+        if blocks is None:
+            blocks = max(1, int(np.ceil(np.sqrt(max(n_rows, n_cols)))))
+        row_blocks = min(blocks, n_rows)
+        col_blocks = min(blocks, n_cols)
+        for tile in rect_tiling(n_rows, n_cols, row_blocks, col_blocks):
+            for (i, j) in tile.entry_pairs():
+                yield PairJob(left=i, right=j, row=i, col=j, mirror=False)
 
     def execute_plan(
         self,

@@ -23,7 +23,13 @@ points on 320 GPUs).
 """
 
 from .comm import SimulatedComm, CommunicationModel
-from .tiling import Tile, partition_indices, square_tiling, tiles_cover_matrix
+from .tiling import (
+    Tile,
+    partition_indices,
+    rect_tiling,
+    square_tiling,
+    tiles_cover_matrix,
+)
 from .strategies import (
     DistributedGramResult,
     ProcessTimings,
@@ -40,6 +46,7 @@ __all__ = [
     "Tile",
     "partition_indices",
     "square_tiling",
+    "rect_tiling",
     "tiles_cover_matrix",
     "DistributedGramResult",
     "ProcessTimings",

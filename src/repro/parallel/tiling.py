@@ -18,7 +18,13 @@ import numpy as np
 
 from ..exceptions import TilingError
 
-__all__ = ["Tile", "partition_indices", "square_tiling", "tiles_cover_matrix"]
+__all__ = [
+    "Tile",
+    "partition_indices",
+    "square_tiling",
+    "rect_tiling",
+    "tiles_cover_matrix",
+]
 
 
 @dataclass(frozen=True)
@@ -139,20 +145,70 @@ def square_tiling(
     return tiles
 
 
-def tiles_cover_matrix(tiles: Sequence[Tile], n: int, symmetric: bool = True) -> bool:
+def rect_tiling(
+    num_rows: int,
+    num_cols: int,
+    num_row_blocks: int,
+    num_col_blocks: int | None = None,
+    num_owners: int | None = None,
+) -> List[Tile]:
+    """Tile a rectangular ``num_rows x num_cols`` kernel matrix.
+
+    Used for cross-Gram blocks (test-versus-train, and the Nystrom
+    ``K_nm`` landmark block) where no symmetry exists: every tile computes
+    all of its entries.  ``num_col_blocks`` defaults to ``num_row_blocks``
+    capped to the column count; ownership is round-robin as in
+    :func:`square_tiling`.
+    """
+    if num_owners is not None and num_owners < 1:
+        raise TilingError(f"num_owners must be >= 1, got {num_owners}")
+    if num_col_blocks is None:
+        num_col_blocks = min(num_row_blocks, num_cols)
+    row_blocks = partition_indices(num_rows, num_row_blocks)
+    col_blocks = partition_indices(num_cols, num_col_blocks)
+    tiles: List[Tile] = []
+    tile_index = 0
+    for rb, row_idx in enumerate(row_blocks):
+        for cb, col_idx in enumerate(col_blocks):
+            owner = tile_index if num_owners is None else tile_index % num_owners
+            tiles.append(
+                Tile(
+                    row_block=rb,
+                    col_block=cb,
+                    row_indices=tuple(int(i) for i in row_idx),
+                    col_indices=tuple(int(i) for i in col_idx),
+                    owner=owner,
+                    symmetric_diagonal=False,
+                )
+            )
+            tile_index += 1
+    return tiles
+
+
+def tiles_cover_matrix(
+    tiles: Sequence[Tile],
+    n: int,
+    symmetric: bool = True,
+    num_cols: int | None = None,
+) -> bool:
     """Check that the tiles cover every required entry exactly once.
 
     For symmetric matrices the required entries are the strict upper
-    triangle; for rectangular/asymmetric cases every ``(i, j)`` pair.
+    triangle; for rectangular/asymmetric cases every ``(i, j)`` pair of the
+    ``n x num_cols`` matrix (``num_cols`` defaults to ``n``).
     """
-    covered = np.zeros((n, n), dtype=int)
+    if num_cols is None:
+        num_cols = n
+    covered = np.zeros((n, num_cols), dtype=int)
     for tile in tiles:
         for (r, c) in tile.entry_pairs():
-            if not (0 <= r < n and 0 <= c < n):
+            if not (0 <= r < n and 0 <= c < num_cols):
                 return False
             covered[r, c] += 1
     if symmetric:
+        if num_cols != n:
+            raise TilingError("symmetric coverage requires a square matrix")
         expected = np.triu(np.ones((n, n), dtype=int), k=1)
     else:
-        expected = np.ones((n, n), dtype=int)
+        expected = np.ones((n, num_cols), dtype=int)
     return bool(np.array_equal(covered, expected))

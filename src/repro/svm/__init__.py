@@ -9,10 +9,13 @@ scratch:
 * :class:`~repro.svm.svc.PrecomputedKernelSVC` -- a binary kernel SVM trained
   with an SMO-style working-set solver on a precomputed Gram matrix;
 * :mod:`~repro.svm.metrics` -- accuracy / precision / recall / ROC-AUC;
-* :mod:`~repro.svm.model_selection` -- train/test splitting and the best-AUC
-  C-grid scan used by every table and figure;
+* :mod:`~repro.svm.model_selection` -- train/test splitting, the best-AUC
+  C-grid scan used by every table and figure (precomputed-kernel and
+  explicit-feature variants), and Nystrom rank/strategy cross-validation;
 * :mod:`~repro.svm.preprocessing` -- the (0, 2) feature scaler required by
-  the feature map.
+  the feature map;
+* :mod:`~repro.svm.conformal` -- a split-conformal wrapper turning held-out
+  decision values into prediction sets with marginal coverage guarantees.
 """
 
 from .preprocessing import FeatureScaler, scale_to_interval
@@ -27,7 +30,15 @@ from .metrics import (
     classification_report,
 )
 from .svc import PrecomputedKernelSVC
-from .model_selection import train_test_split, GridSearchResult, grid_search_c
+from .model_selection import (
+    train_test_split,
+    GridSearchResult,
+    grid_search_c,
+    grid_search_c_linear,
+    NystroemCVResult,
+    cross_validate_nystroem,
+)
+from .conformal import SplitConformalClassifier
 
 __all__ = [
     "FeatureScaler",
@@ -44,4 +55,8 @@ __all__ = [
     "train_test_split",
     "GridSearchResult",
     "grid_search_c",
+    "grid_search_c_linear",
+    "NystroemCVResult",
+    "cross_validate_nystroem",
+    "SplitConformalClassifier",
 ]

@@ -1,0 +1,140 @@
+"""Split-conformal prediction sets on top of any decision function.
+
+Point predictions carry no finite-sample guarantee; a *split conformal*
+wrapper turns held-out decision values into set-valued predictions with
+distribution-free marginal coverage: for a calibration set of ``n`` exchange-
+able points and miscoverage level ``alpha``, the predicted set contains the
+true label with probability at least ``1 - alpha`` (Vovk et al.; see also
+Park et al. 2022 for the few-shot calibration line of work motivating
+calibrated sets over quantum-kernel classifiers).
+
+For a binary margin classifier with decision values ``f(x)`` (positive means
+class 1) the nonconformity of a labelled example is the *negative signed
+margin* ``s(x, y) = -y_signed f(x)``: large when the model pushes the point
+to the wrong side.  Calibration stores the empirical ``ceil((n+1)(1-alpha))/n``
+quantile ``q`` of these scores; a test point's prediction set contains every
+label whose hypothetical nonconformity is at most ``q``.  Sets are singleton
+(confident) or ``{0, 1}`` (ambiguous near the boundary) in the common case;
+when every calibration point is classified with a margin above ``|q|`` the
+quantile is *negative* and a low-margin test point can receive an *empty*
+set -- the conformal way of flagging it as unlike anything seen during
+calibration.  Downstream consumers must treat an empty set as "abstain",
+not assume at least one label.
+
+The wrapper only consumes decision values, so it works identically for the
+exact :class:`~repro.svm.PrecomputedKernelSVC`, the Nystrom
+:class:`~repro.approx.linear_svc.LinearSVC` and any future model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from ..exceptions import SVMError
+from .svc import PrecomputedKernelSVC
+
+__all__ = ["SplitConformalClassifier"]
+
+_to_signed = PrecomputedKernelSVC._to_signed
+
+
+class SplitConformalClassifier:
+    """Binary split-conformal wrapper over margin decision values.
+
+    Parameters
+    ----------
+    alpha:
+        Target miscoverage: prediction sets cover the true label with
+        probability at least ``1 - alpha`` (marginally, over exchangeable
+        data).
+
+    Attributes (after :meth:`calibrate`)
+    ------------------------------------
+    quantile_:
+        The calibrated nonconformity threshold ``q``; ``inf`` when the
+        calibration set is too small for the requested ``alpha`` (every set
+        is then ``{0, 1}``, the only way to honour the guarantee).
+    """
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not (0.0 < alpha < 1.0):
+            raise SVMError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = float(alpha)
+        self.quantile_: float | None = None
+        self.num_calibration_: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether :meth:`calibrate` has completed."""
+        return self.quantile_ is not None
+
+    def calibrate(
+        self, decision_values: np.ndarray, y_true: np.ndarray
+    ) -> "SplitConformalClassifier":
+        """Store the conformal quantile from held-out labelled scores.
+
+        ``decision_values`` must come from data *not* used to train the
+        underlying model (the "split" in split conformal).
+        """
+        scores = np.asarray(decision_values, dtype=float).ravel()
+        y_signed = _to_signed(y_true)
+        if scores.size != y_signed.size:
+            raise SVMError(
+                f"{scores.size} decision values but {y_signed.size} labels"
+            )
+        if scores.size < 1:
+            raise SVMError("calibration set must not be empty")
+        nonconformity = -y_signed * scores
+        n = nonconformity.size
+        level = math.ceil((n + 1) * (1.0 - self.alpha))
+        if level > n:
+            self.quantile_ = float("inf")
+        else:
+            self.quantile_ = float(np.sort(nonconformity)[level - 1])
+        self.num_calibration_ = n
+        return self
+
+    def _require_calibrated(self) -> None:
+        if not self.is_calibrated:
+            raise SVMError("conformal wrapper is not calibrated; call calibrate()")
+
+    # ------------------------------------------------------------------
+    def prediction_set_matrix(self, decision_values: np.ndarray) -> np.ndarray:
+        """Boolean membership matrix, shape ``(n, 2)``; column ``c`` = label ``c``."""
+        self._require_calibrated()
+        assert self.quantile_ is not None
+        scores = np.asarray(decision_values, dtype=float).ravel()
+        # Label 1 has nonconformity -f(x), label 0 has +f(x).
+        include_1 = -scores <= self.quantile_
+        include_0 = scores <= self.quantile_
+        return np.column_stack([include_0, include_1])
+
+    def predict_set(self, decision_values: np.ndarray) -> List[Set[int]]:
+        """Prediction sets (subsets of ``{0, 1}``), one per test point."""
+        member = self.prediction_set_matrix(decision_values)
+        return [
+            {label for label in (0, 1) if member[i, label]}
+            for i in range(member.shape[0])
+        ]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empirical_coverage(
+        y_true: np.ndarray, sets: Sequence[Set[int]]
+    ) -> float:
+        """Fraction of test points whose set contains the true label."""
+        y01 = (_to_signed(y_true) > 0).astype(int)
+        if y01.size != len(sets):
+            raise SVMError(f"{y01.size} labels but {len(sets)} prediction sets")
+        return float(np.mean([int(y) in s for y, s in zip(y01, sets)]))
+
+    @staticmethod
+    def average_set_size(sets: Sequence[Set[int]]) -> float:
+        """Mean cardinality -- the efficiency metric paired with coverage."""
+        if not sets:
+            raise SVMError("no prediction sets given")
+        return float(np.mean([len(s) for s in sets]))

@@ -3,13 +3,16 @@
 The paper reports, for every experiment, the metrics obtained at the best
 regularisation coefficient ``C`` out of a small grid in ``[0.01, 4]`` (AUC is
 the selection criterion).  :func:`grid_search_c` reproduces exactly that
-protocol on precomputed train / test Gram matrices.
+protocol on precomputed train / test Gram matrices;
+:func:`grid_search_c_linear` is the same scan in an explicit (Nystrom)
+feature space, and :func:`cross_validate_nystroem` k-fold cross-validates
+over landmark count / selection strategy for the low-rank path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +21,18 @@ from ..exceptions import DataError, SVMError
 from .metrics import classification_report, roc_auc_score
 from .svc import PrecomputedKernelSVC
 
-__all__ = ["train_test_split", "GridSearchResult", "grid_search_c"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (approx uses svm)
+    from ..approx import NystroemConfig
+    from ..engine import KernelEngine
+
+__all__ = [
+    "train_test_split",
+    "GridSearchResult",
+    "grid_search_c",
+    "grid_search_c_linear",
+    "NystroemCVResult",
+    "cross_validate_nystroem",
+]
 
 
 def train_test_split(
@@ -90,14 +104,17 @@ class GridSearchResult:
         Mapping ``C -> {"train": metrics, "test": metrics}`` for every grid
         point, enabling the per-C curves some benchmarks report.
     best_model:
-        The fitted :class:`PrecomputedKernelSVC` for the winning ``C``.
+        The fitted model for the winning ``C``: a
+        :class:`PrecomputedKernelSVC` from :func:`grid_search_c`, a
+        :class:`~repro.approx.linear_svc.LinearSVC` from
+        :func:`grid_search_c_linear`.
     """
 
     best_C: float
     best_test_metrics: Dict[str, float]
     best_train_metrics: Dict[str, float]
     per_C: Dict[float, Dict[str, Dict[str, float]]] = field(default_factory=dict)
-    best_model: PrecomputedKernelSVC | None = None
+    best_model: Any = None
 
     @property
     def best_test_auc(self) -> float:
@@ -139,20 +156,81 @@ def grid_search_c(
             f"{K_train.shape[0]}x{K_train.shape[1]}"
         )
 
+    return _scan_c_grid(
+        lambda C: PrecomputedKernelSVC(C=C, tol=tol),
+        K_train,
+        y_train,
+        K_test,
+        y_test,
+        c_grid,
+        selection_metric,
+    )
+
+
+def grid_search_c_linear(
+    phi_train: np.ndarray,
+    y_train: np.ndarray,
+    phi_test: np.ndarray,
+    y_test: np.ndarray,
+    c_grid: Sequence[float] = DEFAULT_C_GRID,
+    tol: float = 1e-6,
+    selection_metric: str = "auc",
+) -> GridSearchResult:
+    """The best-AUC ``C`` scan in an explicit (e.g. Nystrom) feature space.
+
+    Identical protocol to :func:`grid_search_c` but each candidate is a
+    primal :class:`~repro.approx.linear_svc.LinearSVC` fitted on the
+    ``(n, r)`` feature matrices, so the scan is ``O(|grid| n r^2)`` and never
+    materialises an ``n x n`` kernel.
+    """
+    from ..approx.linear_svc import LinearSVC  # local: approx imports svm
+
+    if not c_grid:
+        raise SVMError("c_grid must contain at least one value")
+    phi_train = np.asarray(phi_train, dtype=float)
+    phi_test = np.asarray(phi_test, dtype=float)
+    if phi_train.ndim != 2 or phi_test.ndim != 2:
+        raise SVMError("feature matrices must be 2-D")
+    if phi_test.shape[1] != phi_train.shape[1]:
+        raise SVMError(
+            f"phi_test has {phi_test.shape[1]} features but phi_train has "
+            f"{phi_train.shape[1]}"
+        )
+    return _scan_c_grid(
+        lambda C: LinearSVC(C=C, tol=tol),
+        phi_train,
+        np.asarray(y_train).ravel(),
+        phi_test,
+        np.asarray(y_test).ravel(),
+        c_grid,
+        selection_metric,
+    )
+
+
+def _scan_c_grid(
+    make_model,
+    train_repr: np.ndarray,
+    y_train: np.ndarray,
+    test_repr: np.ndarray,
+    y_test: np.ndarray,
+    c_grid: Sequence[float],
+    selection_metric: str,
+) -> GridSearchResult:
+    """Shared C-grid scan over any model with the fit/predict protocol."""
     per_C: Dict[float, Dict[str, Dict[str, float]]] = {}
-    best: Tuple[float, float, Dict[str, float], Dict[str, float], PrecomputedKernelSVC] | None = None
+    best: Tuple[float, float, Dict[str, float], Dict[str, float], Any] | None = None
 
     for C in c_grid:
-        model = PrecomputedKernelSVC(C=C, tol=tol)
-        model.fit(K_train, y_train)
+        model = make_model(C)
+        model.fit(train_repr, y_train)
 
-        train_scores = model.decision_function(K_train)
-        test_scores = model.decision_function(K_test)
+        train_scores = model.decision_function(train_repr)
+        test_scores = model.decision_function(test_repr)
         train_metrics = classification_report(
-            y_train, model.predict(K_train), train_scores
+            y_train, model.predict(train_repr), train_scores
         )
         test_metrics = classification_report(
-            y_test, model.predict(K_test), test_scores
+            y_test, model.predict(test_repr), test_scores
         )
         per_C[float(C)] = {"train": train_metrics, "test": test_metrics}
 
@@ -168,4 +246,140 @@ def grid_search_c(
         best_train_metrics=best_train,
         per_C=per_C,
         best_model=best_model,
+    )
+
+
+@dataclass
+class NystroemCVResult:
+    """Outcome of k-fold cross-validation over Nystrom configurations.
+
+    Attributes
+    ----------
+    best_config:
+        The :class:`~repro.approx.NystroemConfig` with the highest mean
+        validation score.
+    best_score:
+        Its mean validation score.
+    mean_scores:
+        ``config -> mean score`` for every candidate (the frozen
+        :class:`~repro.approx.NystroemConfig` itself is the key, so
+        candidates differing only in rank / seed / jitter never collide).
+    fold_scores:
+        ``config -> [per-fold scores]``.
+    """
+
+    best_config: "NystroemConfig"
+    best_score: float
+    mean_scores: Dict["NystroemConfig", float] = field(default_factory=dict)
+    fold_scores: Dict["NystroemConfig", List[float]] = field(default_factory=dict)
+
+
+def _stratified_folds(
+    y: np.ndarray, n_folds: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Index arrays of ``n_folds`` stratified validation folds."""
+    folds: List[List[int]] = [[] for _ in range(n_folds)]
+    for cls in np.unique(y):
+        cls_idx = rng.permutation(np.where(y == cls)[0])
+        for pos, idx in enumerate(cls_idx):
+            folds[pos % n_folds].append(int(idx))
+    return [np.asarray(sorted(f), dtype=int) for f in folds]
+
+
+def cross_validate_nystroem(
+    engine_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    configs: "Sequence[NystroemConfig]",
+    C: float = 1.0,
+    n_folds: int = 3,
+    seed: int | np.random.Generator | None = 0,
+    selection_metric: str = "auc",
+) -> NystroemCVResult:
+    """K-fold cross-validation over Nystrom rank / landmark strategy.
+
+    For every candidate :class:`~repro.approx.NystroemConfig` the feature map
+    is refitted on each training fold (through a fresh engine from
+    ``engine_factory``, so state caches never leak across folds), a primal
+    :class:`~repro.approx.linear_svc.LinearSVC` at fixed ``C`` is trained on
+    the fold features, and the held-out fold is scored.  The candidate with
+    the best mean validation score wins.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable returning a
+        :class:`~repro.engine.KernelEngine` (one per fold and candidate).
+    X:
+        *Scaled* feature matrix (the caller owns the scaler, exactly as with
+        the precomputed-kernel protocol).
+    configs:
+        The candidate configurations; sweep ``num_landmarks`` and/or
+        ``strategy``.
+    selection_metric:
+        ``"auc"`` (via :func:`roc_auc_score` on decision values) or any key
+        of :func:`classification_report`.
+    """
+    from ..approx.linear_svc import LinearSVC  # local: approx imports svm
+    from ..approx.nystroem import NystroemFeatureMap
+
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y).ravel()
+    if X.ndim != 2:
+        raise DataError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] != y.size:
+        raise DataError(f"X has {X.shape[0]} rows but y has {y.size} labels")
+    if not configs:
+        raise SVMError("configs must contain at least one candidate")
+    if n_folds < 2:
+        raise SVMError(f"n_folds must be >= 2, got {n_folds}")
+    if n_folds > np.min(np.bincount((y > 0).astype(int))):
+        raise DataError("n_folds exceeds the size of the smallest class")
+
+    rng = make_rng(seed)
+    folds = _stratified_folds(y, n_folds, rng)
+    all_idx = np.arange(X.shape[0])
+
+    mean_scores: Dict["NystroemConfig", float] = {}
+    fold_scores: Dict["NystroemConfig", List[float]] = {}
+    best: Tuple[float, "NystroemConfig"] | None = None
+
+    for config in configs:
+        key = config
+        scores: List[float] = []
+        for val_idx in folds:
+            train_idx = np.setdiff1d(all_idx, val_idx)
+            if config.num_landmarks > train_idx.size:
+                raise SVMError(
+                    f"candidate m={config.num_landmarks} exceeds the "
+                    f"training-fold size {train_idx.size}"
+                )
+            fmap = NystroemFeatureMap(engine_factory(), config)
+            phi_train = fmap.fit_transform(X[train_idx])
+            model = LinearSVC(C=C).fit(phi_train, y[train_idx])
+            phi_val = fmap.transform(X[val_idx])
+            if selection_metric == "auc":
+                score = roc_auc_score(
+                    y[val_idx], model.decision_function(phi_val)
+                )
+            else:
+                report = classification_report(
+                    y[val_idx],
+                    model.predict(phi_val),
+                    model.decision_function(phi_val),
+                )
+                score = report[selection_metric]
+            scores.append(float(score))
+        fold_scores[key] = scores
+        mean = float(np.mean(scores))
+        mean_scores[key] = mean
+        if best is None or mean > best[0]:
+            best = (mean, config)
+
+    assert best is not None
+    return NystroemCVResult(
+        best_config=best[1],
+        best_score=best[0],
+        mean_scores=mean_scores,
+        fold_scores=fold_scores,
     )

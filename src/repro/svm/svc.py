@@ -30,6 +30,85 @@ from ..exceptions import ConvergenceError, SVMError
 __all__ = ["PrecomputedKernelSVC"]
 
 
+def _sigmoid_probability(scores: np.ndarray, a: float, b: float) -> np.ndarray:
+    """Numerically stable ``1 / (1 + exp(a * s + b))``."""
+    z = a * np.asarray(scores, dtype=float) + b
+    p = np.empty_like(z)
+    pos = z >= 0
+    p[pos] = np.exp(-z[pos]) / (1.0 + np.exp(-z[pos]))
+    p[~pos] = 1.0 / (1.0 + np.exp(z[~pos]))
+    return p
+
+
+def _fit_platt_sigmoid(
+    scores: np.ndarray, y_signed: np.ndarray, max_iter: int = 100
+) -> tuple[float, float]:
+    """Fit Platt's sigmoid ``P(y=1|s) = 1/(1+exp(A s + B))`` by Newton.
+
+    Follows the robust formulation of Lin, Lin & Weng (2007): regularised
+    ("Laplace-corrected") targets prevent the separable-data blow-up and the
+    cross-entropy is evaluated in a cancellation-free form.  Returns
+    ``(A, B)``.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    y01 = (np.asarray(y_signed).ravel() > 0).astype(float)
+    prior1 = float(np.sum(y01))
+    prior0 = float(y01.size - prior1)
+    hi = (prior1 + 1.0) / (prior1 + 2.0)
+    lo = 1.0 / (prior0 + 2.0)
+    t = np.where(y01 > 0, hi, lo)
+
+    a = 0.0
+    b = np.log((prior0 + 1.0) / (prior1 + 1.0))
+
+    def objective(a_: float, b_: float) -> float:
+        z = a_ * scores + b_
+        # t*z + log(1+exp(-z)) for z >= 0, (t-1)*z + log(1+exp(z)) otherwise.
+        return float(
+            np.sum(
+                np.where(
+                    z >= 0,
+                    t * z + np.log1p(np.exp(-np.abs(z))),
+                    (t - 1.0) * z + np.log1p(np.exp(-np.abs(z))),
+                )
+            )
+        )
+
+    fval = objective(a, b)
+    for _ in range(max_iter):
+        p = _sigmoid_probability(scores, a, b)
+        d1 = t - p  # dF/dz per sample
+        g_a = float(np.dot(d1, scores))
+        g_b = float(np.sum(d1))
+        if max(abs(g_a), abs(g_b)) < 1e-10:
+            break
+        d2 = np.maximum(p * (1.0 - p), 1e-12)
+        h_aa = float(np.dot(d2, scores * scores)) + 1e-12
+        h_bb = float(np.sum(d2)) + 1e-12
+        h_ab = float(np.dot(d2, scores))
+        det = h_aa * h_bb - h_ab * h_ab
+        if det <= 0:  # pragma: no cover - defensive
+            break
+        step_a = -(h_bb * g_a - h_ab * g_b) / det
+        step_b = -(h_aa * g_b - h_ab * g_a) / det
+        # Backtracking line search on the convex objective.
+        stepsize = 1.0
+        descent = g_a * step_a + g_b * step_b
+        improved = False
+        for _ls in range(32):
+            new_a = a + stepsize * step_a
+            new_b = b + stepsize * step_b
+            new_f = objective(new_a, new_b)
+            if new_f <= fval + 1e-4 * stepsize * descent:
+                a, b, fval = new_a, new_b, new_f
+                improved = True
+                break
+            stepsize *= 0.5
+        if not improved:  # pragma: no cover - defensive
+            break
+    return a, b
+
+
 @dataclass
 class _TrainingState:
     """Mutable SMO state bundled to keep the main loop readable."""
@@ -103,6 +182,9 @@ class PrecomputedKernelSVC:
         self.support_: np.ndarray | None = None
         self.n_iter_: int = 0
         self._y_signed: np.ndarray | None = None
+        self._train_scores: np.ndarray | None = None
+        self.platt_a_: float | None = None
+        self.platt_b_: float | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -188,6 +270,13 @@ class PrecomputedKernelSVC:
         self._y_signed = y_signed
         self.support_ = np.where(state.alpha > state.eps)[0]
         self.n_iter_ = iteration
+        # Keep the training decision values (one cheap matvec while K is in
+        # hand); the Platt sigmoid itself is fitted lazily on the first
+        # predict_proba call, so the many fits of a C-grid scan never pay
+        # for calibration they do not use.
+        self._train_scores = self.decision_function(K)
+        self.platt_a_ = None
+        self.platt_b_ = None
         return self
 
     # ------------------------------------------------------------------
@@ -354,6 +443,25 @@ class PrecomputedKernelSVC:
     def predict(self, K_test: np.ndarray) -> np.ndarray:
         """Binary predictions in {0, 1}."""
         return (self.decision_function(K_test) > 0).astype(int)
+
+    def predict_proba(self, K_test: np.ndarray) -> np.ndarray:
+        """Platt-scaled class probabilities, shape ``(n_test, 2)``.
+
+        ``P(y = 1 | x) = 1 / (1 + exp(A f(x) + B))`` with the sigmoid
+        parameters fitted lazily (on first call) from the training decision
+        values stored during :meth:`fit` (Platt 1999, with the regularised
+        targets and Newton solve of Lin, Lin & Weng 2007).  Column 0 is the
+        negative class.
+        """
+        if self._train_scores is None or self._y_signed is None:
+            raise SVMError("model is not fitted")
+        if self.platt_a_ is None or self.platt_b_ is None:
+            self.platt_a_, self.platt_b_ = _fit_platt_sigmoid(
+                self._train_scores, self._y_signed
+            )
+        scores = self.decision_function(K_test)
+        p1 = _sigmoid_probability(scores, self.platt_a_, self.platt_b_)
+        return np.column_stack([1.0 - p1, p1])
 
     def dual_objective(self, K_train: np.ndarray) -> float:
         """Value of the SVM dual objective at the fitted solution.

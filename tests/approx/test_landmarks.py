@@ -1,0 +1,84 @@
+"""Unit tests for the landmark selection registry."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    GreedyLandmarkSelector,
+    available_landmark_strategies,
+    get_landmark_selector,
+    register_landmark_selector,
+    select_landmarks,
+)
+from repro.approx.landmarks import UniformLandmarkSelector
+from repro.exceptions import KernelError
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0.0, 2.0, size=(40, 5))
+
+
+@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy"])
+def test_selectors_return_valid_indices(strategy, X):
+    idx = select_landmarks(X, 8, strategy=strategy, seed=3)
+    assert idx.shape == (8,)
+    assert np.unique(idx).size == 8
+    assert idx.min() >= 0 and idx.max() < X.shape[0]
+    assert np.array_equal(idx, np.sort(idx))
+
+
+@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy"])
+def test_selectors_are_deterministic_given_seed(strategy, X):
+    a = select_landmarks(X, 10, strategy=strategy, seed=7)
+    b = select_landmarks(X, 10, strategy=strategy, seed=7)
+    assert np.array_equal(a, b)
+
+
+def test_all_points_as_landmarks_is_identity_set(X):
+    idx = select_landmarks(X, X.shape[0], strategy="uniform", seed=0)
+    assert np.array_equal(idx, np.arange(X.shape[0]))
+
+
+def test_greedy_spreads_landmarks(X):
+    """Farthest-point landmarks must have a larger minimum pairwise
+    distance than a clumped contiguous-prefix baseline."""
+    idx = GreedyLandmarkSelector()(X, 6, seed=0)
+    chosen = X[idx]
+
+    def min_pairwise(P):
+        d = np.linalg.norm(P[:, None, :] - P[None, :, :], axis=-1)
+        return d[np.triu_indices(len(P), k=1)].min()
+
+    order = np.argsort(X[:, 0], kind="stable")
+    clumped = X[order[:6]]
+    assert min_pairwise(chosen) > min_pairwise(clumped)
+
+
+def test_validation_errors(X):
+    with pytest.raises(KernelError):
+        select_landmarks(X, 0)
+    with pytest.raises(KernelError):
+        select_landmarks(X, X.shape[0] + 1)
+    with pytest.raises(KernelError):
+        select_landmarks(X, 4, strategy="no-such-strategy")
+
+
+def test_registry_round_trip(X):
+    assert {"uniform", "kmeans", "greedy"} <= set(available_landmark_strategies())
+
+    class FirstK(UniformLandmarkSelector):
+        name = "first-k"
+
+        def select(self, X, num_landmarks, rng):
+            return np.arange(num_landmarks)
+
+    register_landmark_selector("first-k", FirstK)
+    try:
+        assert "first-k" in available_landmark_strategies()
+        idx = get_landmark_selector("first-k")(X, 5, seed=0)
+        assert np.array_equal(idx, np.arange(5))
+    finally:
+        from repro.approx import landmarks as _mod
+
+        _mod._SELECTORS.pop("first-k", None)

@@ -99,3 +99,89 @@ def test_pipeline_validation(ansatz, rng):
                      np.array([0, 1, 0, 1]))  # ansatz mismatch
     with pytest.raises(ConfigurationError):
         QuantumKernelPipeline(ansatz, kernel="polynomial")
+
+
+# ----------------------------------------------------------------------
+# Nystrom approximation branch
+# ----------------------------------------------------------------------
+def test_nystroem_pipeline_runs_and_respects_pair_budget(split, ansatz):
+    from repro.approx import NystroemConfig
+
+    X_train, X_test, y_train, y_test = split
+    m = 8
+    pipeline = QuantumKernelPipeline(
+        ansatz,
+        c_grid=(0.5, 2.0),
+        approximation=NystroemConfig(num_landmarks=m, strategy="greedy"),
+    )
+    result = pipeline.run(X_train, y_train, X_test, y_test)
+    assert result.kernel_name == "quantum-nystroem"
+    assert result.approximation is not None
+    n = X_train.shape[0]
+    report = result.approximation["report"]
+    assert report["fit_pair_evaluations"] <= n * m + m * m
+    assert report["fit_pair_evaluations"] < n * (n - 1) // 2
+    assert 0.0 <= result.test_auc <= 1.0
+    assert result.train_kernel.shape == (n, n)
+    assert result.test_kernel.shape == (X_test.shape[0], n)
+    assert "off_diagonal_mean" in result.kernel_diagnostics
+
+
+def test_nystroem_pipeline_tracks_exact_at_full_rank(split, ansatz):
+    """With m = n the low-rank path must match the exact pipeline's AUC."""
+    from repro.approx import NystroemConfig
+
+    X_train, X_test, y_train, y_test = split
+    exact = QuantumKernelPipeline(ansatz, c_grid=(1.0,)).run(
+        X_train, y_train, X_test, y_test
+    )
+    approx = QuantumKernelPipeline(
+        ansatz,
+        c_grid=(1.0,),
+        approximation=NystroemConfig(num_landmarks=X_train.shape[0]),
+    ).run(X_train, y_train, X_test, y_test)
+    assert np.allclose(approx.train_kernel, exact.train_kernel, atol=1e-6)
+    # Same kernel information; the residual gap is SMO-hinge vs primal
+    # squared-hinge on a 10-point test split (AUC granularity 0.04).
+    assert abs(approx.test_auc - exact.test_auc) < 0.2
+
+
+def test_rank_sweep_shares_one_state_store(split, ansatz):
+    from repro.approx import NystroemConfig
+
+    X_train, X_test, y_train, y_test = split
+    pipeline = QuantumKernelPipeline(
+        ansatz,
+        c_grid=(1.0,),
+        approximation=NystroemConfig(num_landmarks=4),
+    )
+    results = pipeline.run_rank_sweep(X_train, y_train, X_test, y_test, [4, 8])
+    assert set(results) == {4, 8}
+    # every point was encoded for m=4; the m=8 pass must be simulation-free
+    assert results[8].approximation["report"]["cache_misses"] == 0
+    assert all(r.kernel_name == "quantum-nystroem" for r in results.values())
+
+
+def test_nystroem_requires_quantum_kernel(ansatz):
+    from repro.approx import NystroemConfig
+
+    with pytest.raises(ConfigurationError):
+        QuantumKernelPipeline(
+            ansatz,
+            kernel="gaussian",
+            approximation=NystroemConfig(num_landmarks=4),
+        )
+
+
+def test_rank_sweep_requires_approximation_config(split, ansatz):
+    X_train, X_test, y_train, y_test = split
+    pipeline = QuantumKernelPipeline(ansatz)
+    with pytest.raises(ConfigurationError):
+        pipeline.run_rank_sweep(X_train, y_train, X_test, y_test, [4])
+    from repro.approx import NystroemConfig
+
+    pipeline = QuantumKernelPipeline(
+        ansatz, approximation=NystroemConfig(num_landmarks=4)
+    )
+    with pytest.raises(ConfigurationError):
+        pipeline.run_rank_sweep(X_train, y_train, X_test, y_test, [])

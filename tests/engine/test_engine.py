@@ -159,3 +159,19 @@ def test_train_then_infer_reuses_cached_states(small_dataset):
     stats = cached.cache_stats()
     assert stats is not None and stats.hits >= 3
     assert baseline.cache_stats() is None
+
+
+def test_tiled_executor_covers_cross_plans(ansatz, X, rng):
+    """The tiled job stream over a rectangular plan matches sequential."""
+    X_rows = rng.uniform(0.1, 1.9, size=(5, 4))
+    seq = KernelEngine(ansatz)
+    train_states = seq.encode_rows(X)
+    K_seq = seq.cross(X_rows, train_states).matrix
+
+    tiled = KernelEngine(ansatz, config=EngineConfig(executor="tiled", num_blocks=2))
+    K_tiled = tiled.cross(X_rows, train_states).matrix
+    assert np.allclose(K_tiled, K_seq, atol=1e-12)
+
+    # kernel-row (serving) plans take the same tiled path
+    K_rows = tiled.kernel_rows(X_rows, train_states).matrix
+    assert np.allclose(K_rows, K_seq, atol=1e-12)

@@ -82,3 +82,45 @@ def test_cover_detects_gaps_and_overlaps():
     assert not tiles_cover_matrix(tiles[:-1], 6, symmetric=True)
     # Duplicating a tile double-covers entries.
     assert not tiles_cover_matrix(tiles + [tiles[0]], 6, symmetric=True)
+
+
+# ----------------------------------------------------------------------
+# Rectangular (cross-Gram) tiling
+# ----------------------------------------------------------------------
+def test_rect_tiling_covers_rectangle_exactly_once():
+    from repro.parallel import rect_tiling
+
+    tiles = rect_tiling(7, 4, 3)
+    assert tiles_cover_matrix(tiles, 7, symmetric=False, num_cols=4)
+    assert sum(t.num_entries for t in tiles) == 7 * 4
+    assert all(not t.symmetric_diagonal for t in tiles)
+
+
+def test_rect_tiling_block_grid_and_owners():
+    from repro.parallel import rect_tiling
+
+    tiles = rect_tiling(6, 6, 2, 3, num_owners=2)
+    assert len(tiles) == 2 * 3
+    assert {t.owner for t in tiles} == {0, 1}
+    # default column blocks mirror the row blocks, capped at num_cols
+    narrow = rect_tiling(8, 2, 4)
+    assert len(narrow) == 4 * 2
+
+
+def test_rect_tiling_validation():
+    from repro.parallel import rect_tiling
+
+    with pytest.raises(TilingError):
+        rect_tiling(4, 4, 5)
+    with pytest.raises(TilingError):
+        rect_tiling(4, 4, 2, num_owners=0)
+    with pytest.raises(TilingError):
+        rect_tiling(0, 4, 1)
+
+
+def test_symmetric_cover_check_rejects_rectangles():
+    from repro.parallel import rect_tiling
+
+    tiles = rect_tiling(4, 3, 2)
+    with pytest.raises(TilingError):
+        tiles_cover_matrix(tiles, 4, symmetric=True, num_cols=3)

@@ -1,0 +1,95 @@
+"""Unit tests for the split-conformal prediction-set wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.approx import LinearSVC
+from repro.exceptions import SVMError
+from repro.svm import SplitConformalClassifier
+
+
+def _noisy_blobs(n_per_class, separation=1.2, seed=0, dim=3):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n_per_class, dim))
+    b = rng.normal(size=(n_per_class, dim)) + separation
+    X = np.vstack([a, b])
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    perm = rng.permutation(2 * n_per_class)
+    return X[perm], y[perm]
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    """Model trained, calibrated and evaluated on three disjoint splits."""
+    X, y = _noisy_blobs(300, seed=5)
+    X_train, y_train = X[:200], y[:200]
+    X_cal, y_cal = X[200:400], y[200:400]
+    X_test, y_test = X[400:], y[400:]
+    model = LinearSVC(C=1.0).fit(X_train, y_train)
+    conformal = SplitConformalClassifier(alpha=0.1).calibrate(
+        model.decision_function(X_cal), y_cal
+    )
+    return conformal, model, X_test, y_test
+
+
+def test_marginal_coverage_on_synthetic_data(calibrated):
+    conformal, model, X_test, y_test = calibrated
+    sets = conformal.predict_set(model.decision_function(X_test))
+    coverage = conformal.empirical_coverage(y_test, sets)
+    # Finite-sample guarantee is >= 1 - alpha marginally; allow sampling slack
+    # on this single draw (200 test points).
+    assert coverage >= 1.0 - conformal.alpha - 0.05
+    # Sets must be informative, not vacuous {0, 1} everywhere.
+    assert conformal.average_set_size(sets) < 2.0
+
+
+def test_sets_shrink_as_alpha_grows(calibrated):
+    _, model, X_test, y_test = calibrated
+    X, y = _noisy_blobs(300, seed=5)
+    X_cal, y_cal = X[200:400], y[200:400]
+    scores_cal = model.decision_function(X_cal)
+    scores_test = model.decision_function(X_test)
+    sizes = []
+    for alpha in (0.05, 0.2, 0.4):
+        conf = SplitConformalClassifier(alpha=alpha).calibrate(scores_cal, y_cal)
+        sizes.append(conf.average_set_size(conf.predict_set(scores_test)))
+    assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+def test_tiny_calibration_set_gives_vacuous_sets():
+    conf = SplitConformalClassifier(alpha=0.05)
+    conf.calibrate(np.array([1.0, -1.0]), np.array([1, 0]))
+    assert conf.quantile_ == float("inf")
+    sets = conf.predict_set(np.array([3.0, -3.0]))
+    assert sets == [{0, 1}, {0, 1}]
+
+
+def test_prediction_set_matrix_layout(calibrated):
+    conformal, model, X_test, _ = calibrated
+    scores = model.decision_function(X_test[:5])
+    member = conformal.prediction_set_matrix(scores)
+    assert member.shape == (5, 2)
+    sets = conformal.predict_set(scores)
+    for i, s in enumerate(sets):
+        assert (0 in s) == bool(member[i, 0])
+        assert (1 in s) == bool(member[i, 1])
+
+
+def test_confident_points_get_singletons(calibrated):
+    conformal, _, _, _ = calibrated
+    sets = conformal.predict_set(np.array([50.0, -50.0]))
+    assert sets == [{1}, {0}]
+
+
+def test_validation_errors(calibrated):
+    conformal, model, X_test, y_test = calibrated
+    with pytest.raises(SVMError):
+        SplitConformalClassifier(alpha=0.0)
+    with pytest.raises(SVMError):
+        SplitConformalClassifier(alpha=1.0)
+    with pytest.raises(SVMError):
+        SplitConformalClassifier().predict_set(np.array([0.0]))
+    with pytest.raises(SVMError):
+        SplitConformalClassifier().calibrate(np.array([1.0]), np.array([1, 0]))
+    with pytest.raises(SVMError):
+        conformal.empirical_coverage(y_test[:3], conformal.predict_set(np.zeros(2)))

@@ -100,3 +100,114 @@ def test_grid_search_alternative_selection_metric():
     )
     accs = [v["test"]["accuracy"] for v in result.per_C.values()]
     assert result.best_test_metrics["accuracy"] == pytest.approx(max(accs))
+
+
+# ----------------------------------------------------------------------
+# Linear (explicit-feature) C scan and Nystrom cross-validation
+# ----------------------------------------------------------------------
+def test_grid_search_c_linear_selects_best_auc():
+    from repro.svm import grid_search_c_linear
+
+    X, y = _blobs(30, separation=2.0, seed=4)
+    rng = np.random.default_rng(0)
+    test_idx = rng.choice(60, size=15, replace=False)
+    train_mask = np.ones(60, dtype=bool)
+    train_mask[test_idx] = False
+    result = grid_search_c_linear(
+        X[train_mask], y[train_mask], X[test_idx], y[test_idx], c_grid=(0.1, 1.0, 10.0)
+    )
+    assert isinstance(result, GridSearchResult)
+    assert result.best_C in (0.1, 1.0, 10.0)
+    assert set(result.per_C) == {0.1, 1.0, 10.0}
+    assert result.best_test_auc == max(
+        m["test"]["auc"] for m in result.per_C.values()
+    )
+    from repro.approx import LinearSVC
+
+    assert isinstance(result.best_model, LinearSVC)
+
+
+def test_grid_search_c_linear_validation():
+    from repro.svm import grid_search_c_linear
+
+    X, y = _blobs(10)
+    with pytest.raises(SVMError):
+        grid_search_c_linear(X, y, X, y, c_grid=())
+    with pytest.raises(SVMError):
+        grid_search_c_linear(X, y, X[:, :2], y)
+
+
+def test_cross_validate_nystroem_selects_a_candidate():
+    from repro.config import AnsatzConfig
+    from repro.engine import EngineConfig, KernelEngine
+    from repro.approx import NystroemConfig
+    from repro.svm import cross_validate_nystroem
+
+    rng = np.random.default_rng(6)
+    X = rng.uniform(0.1, 1.9, size=(24, 4))
+    y = (X[:, 0] + 0.2 * rng.normal(size=24) > 1.0).astype(int)
+    if np.unique(y).size < 2:  # pragma: no cover - seed guard
+        y[0] = 1 - y[0]
+    ansatz = AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.6)
+    configs = [
+        NystroemConfig(num_landmarks=4),
+        NystroemConfig(num_landmarks=8, strategy="greedy"),
+    ]
+    result = cross_validate_nystroem(
+        lambda: KernelEngine(ansatz, config=EngineConfig(use_cache=True)),
+        X,
+        y,
+        configs,
+        n_folds=2,
+        seed=0,
+    )
+    assert result.best_config in configs
+    assert set(result.mean_scores) == set(configs)
+    assert all(len(v) == 2 for v in result.fold_scores.values())
+    assert 0.0 <= result.best_score <= 1.0
+    assert result.best_score == max(result.mean_scores.values())
+
+
+def test_cross_validate_nystroem_validation():
+    from repro.config import AnsatzConfig
+    from repro.engine import KernelEngine
+    from repro.approx import NystroemConfig
+    from repro.svm import cross_validate_nystroem
+
+    ansatz = AnsatzConfig(num_features=4)
+    factory = lambda: KernelEngine(ansatz)
+    X = np.random.default_rng(0).uniform(0.1, 1.9, size=(12, 4))
+    y = np.array([0, 1] * 6)
+    with pytest.raises(SVMError):
+        cross_validate_nystroem(factory, X, y, [], n_folds=2)
+    with pytest.raises(SVMError):
+        cross_validate_nystroem(
+            factory, X, y, [NystroemConfig(num_landmarks=4)], n_folds=1
+        )
+    with pytest.raises(SVMError):
+        cross_validate_nystroem(
+            factory, X, y, [NystroemConfig(num_landmarks=12)], n_folds=2
+        )
+
+
+def test_cross_validate_nystroem_distinguishes_rank_variants():
+    """Candidates sharing (m, strategy) but differing in rank keep separate scores."""
+    from repro.config import AnsatzConfig
+    from repro.engine import EngineConfig, KernelEngine
+    from repro.approx import NystroemConfig
+    from repro.svm import cross_validate_nystroem
+
+    rng = np.random.default_rng(8)
+    X = rng.uniform(0.1, 1.9, size=(16, 4))
+    y = np.array([0, 1] * 8)
+    ansatz = AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.6)
+    configs = [
+        NystroemConfig(num_landmarks=6, rank=2),
+        NystroemConfig(num_landmarks=6, rank=6),
+    ]
+    result = cross_validate_nystroem(
+        lambda: KernelEngine(ansatz, config=EngineConfig(use_cache=True)),
+        X, y, configs, n_folds=2, seed=0,
+    )
+    assert len(result.mean_scores) == 2
+    assert set(result.mean_scores) == set(configs)

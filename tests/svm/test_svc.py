@@ -149,3 +149,46 @@ def test_deterministic_given_seed():
     b = PrecomputedKernelSVC(C=1.0, random_state=3).fit(K, y)
     assert np.allclose(a.alpha_, b.alpha_)
     assert a.intercept_ == pytest.approx(b.intercept_)
+
+
+# ----------------------------------------------------------------------
+# Platt-scaled probabilities
+# ----------------------------------------------------------------------
+def test_predict_proba_on_separable_toy_problem():
+    X, y = _blobs(separation=5.0, seed=11)
+    K = _linear_kernel(X)
+    model = PrecomputedKernelSVC(C=1.0).fit(K, y)
+    proba = model.predict_proba(K)
+    assert proba.shape == (X.shape[0], 2)
+    assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    # Confident, correct probabilities on a cleanly separable problem.
+    assert np.all(proba[y == 1, 1] > 0.5)
+    assert np.all(proba[y == 0, 1] < 0.5)
+    assert proba[y == 1, 1].mean() > 0.8
+    assert proba[y == 0, 0].mean() > 0.8
+
+
+def test_predict_proba_is_monotone_in_decision_value():
+    X, y = _blobs(separation=2.0, seed=13)
+    K = _linear_kernel(X)
+    model = PrecomputedKernelSVC(C=1.0).fit(K, y)
+    scores = model.decision_function(K)
+    p1 = model.predict_proba(K)[:, 1]
+    order = np.argsort(scores)
+    assert np.all(np.diff(p1[order]) >= -1e-12)
+
+
+def test_predict_proba_matches_predictions_in_ranking():
+    X, y = _blobs(separation=1.5, seed=17)
+    K = _linear_kernel(X)
+    model = PrecomputedKernelSVC(C=1.0).fit(K, y)
+    auc_scores = roc_auc_score(y, model.decision_function(K))
+    auc_proba = roc_auc_score(y, model.predict_proba(K)[:, 1])
+    assert abs(auc_scores - auc_proba) < 1e-9
+
+
+def test_predict_proba_unfitted_raises():
+    model = PrecomputedKernelSVC()
+    with pytest.raises(SVMError):
+        model.predict_proba(np.eye(3))

@@ -1,0 +1,222 @@
+"""Serving benchmark: batch-coalescing queue vs one-at-a-time classification.
+
+Simulates a traffic-facing deployment of the Nystrom streaming classifier: a
+hot-key (Zipf-like) request stream -- the shape real serving traffic has --
+is pushed through
+
+* the baseline: ``StreamingNystroemClassifier.classify`` one request at a
+  time (what a naive request handler does), and
+* :class:`repro.serving.AsyncServingQueue` at several ``max_batch`` settings
+  (requests coalesce into one kernel-row plan per flush; the response memo
+  answers repeated hot keys without touching the engine).
+
+Every mode gets a **freshly fitted** engine (identical seeds, so identical
+models) and the same request stream, and must produce **byte-identical**
+decision values -- the serving layer's metamorphic contract.  The script
+writes ``BENCH_serving.json`` with throughput and p50/p99 latency per mode
+and exits non-zero when the acceptance contract breaks:
+
+* the ``max_batch=32`` queue must reach at least ``--min-speedup`` (2x) the
+  baseline throughput;
+* every queue mode must reproduce the baseline predictions exactly.
+
+Run with:  python benchmarks/bench_serving.py [--out BENCH_serving.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.approx import NystroemConfig
+from repro.config import AnsatzConfig
+from repro.core import QuantumKernelInferenceEngine
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
+from repro.serving import AsyncServingQueue
+
+
+def build_engine(args) -> QuantumKernelInferenceEngine:
+    """One freshly fitted Nystrom-backed engine (deterministic)."""
+    data = balanced_subsample(
+        generate_elliptic_like(
+            DatasetSpec(
+                num_samples=6 * args.train_size,
+                num_features=args.features,
+                positive_fraction=0.4,
+                seed=7,
+            )
+        ),
+        args.train_size,
+        seed=3,
+    )
+    ansatz = AnsatzConfig(
+        num_features=args.features, interaction_distance=1, layers=2, gamma=0.5
+    )
+    engine = QuantumKernelInferenceEngine(
+        ansatz,
+        approximation=NystroemConfig(
+            num_landmarks=args.landmarks, strategy="greedy", seed=0
+        ),
+    )
+    engine.fit(data.features, data.labels)
+    return engine
+
+
+def hot_key_stream(args) -> np.ndarray:
+    """Zipf-like request stream: few hot rows dominate, like real traffic."""
+    rng = np.random.default_rng(5)
+    unique = rng.normal(size=(args.unique, args.features))
+    weights = 1.0 / np.arange(1, args.unique + 1)
+    weights /= weights.sum()
+    return unique[rng.choice(args.unique, size=args.queries, p=weights)]
+
+
+def run_baseline(args, stream: np.ndarray) -> tuple[np.ndarray, dict]:
+    classifier = build_engine(args).streaming_classifier()
+    start = time.perf_counter()
+    decisions = np.concatenate(
+        [
+            classifier.classify(stream[i : i + 1]).decision_values
+            for i in range(len(stream))
+        ]
+    )
+    elapsed = time.perf_counter() - start
+    record = {
+        "mode": "one-at-a-time",
+        "max_batch": 1,
+        "memoize": False,
+        "wall_s": elapsed,
+        "throughput_rps": len(stream) / elapsed,
+    }
+    return decisions, record
+
+
+def run_queue(args, stream: np.ndarray, max_batch: int, memoize: bool) -> tuple[np.ndarray, dict]:
+    engine = build_engine(args)
+    queue = AsyncServingQueue(
+        engine.streaming_classifier(buffer_size=max_batch),
+        max_batch=max_batch,
+        max_wait_ms=args.max_wait_ms,
+        memoize=memoize,
+        seed=0,
+    )
+    start = time.perf_counter()
+    futures = queue.submit_many(stream)
+    results = [f.result(timeout=600) for f in futures]
+    elapsed = time.perf_counter() - start
+    queue.close()
+    decisions = np.array([r.decision_value for r in results])
+    snapshot = queue.metrics.to_dict()
+    record = {
+        "mode": "queue",
+        "max_batch": max_batch,
+        "memoize": memoize,
+        "wall_s": elapsed,
+        "throughput_rps": len(stream) / elapsed,
+        "p50_latency_ms": snapshot["p50_latency_s"] * 1e3,
+        "p99_latency_ms": snapshot["p99_latency_s"] * 1e3,
+        "mean_batch_size": snapshot["mean_batch_size"],
+        "total_batches": snapshot["total_batches"],
+        "queue_depth_high_water": snapshot["queue_depth_high_water"],
+        "memo_hits": queue.memo_hits,
+    }
+    return decisions, record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_serving.json"))
+    parser.add_argument("--queries", type=int, default=1024)
+    parser.add_argument("--unique", type=int, default=64)
+    parser.add_argument("--train-size", type=int, default=160)
+    parser.add_argument("--landmarks", type=int, default=48)
+    parser.add_argument("--features", type=int, default=6)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    stream = hot_key_stream(args)
+    print(
+        f"workload: {args.queries} requests over {args.unique} unique rows "
+        f"(Zipf), m={args.landmarks} landmarks"
+    )
+
+    baseline_decisions, baseline = run_baseline(args, stream)
+    print(
+        f"one-at-a-time: {baseline['wall_s']:.3f} s "
+        f"({baseline['throughput_rps']:.0f} req/s)"
+    )
+
+    records = [baseline]
+    failures = []
+    acceptance_speedup = None
+    for max_batch, memoize in ((1, True), (8, True), (32, False), (32, True)):
+        decisions, record = run_queue(args, stream, max_batch, memoize)
+        record["speedup_vs_baseline"] = (
+            record["throughput_rps"] / baseline["throughput_rps"]
+        )
+        record["byte_identical"] = bool(
+            np.array_equal(decisions, baseline_decisions)
+        )
+        records.append(record)
+        print(
+            f"queue max_batch={max_batch} memo={memoize}: "
+            f"{record['wall_s']:.3f} s ({record['throughput_rps']:.0f} req/s, "
+            f"{record['speedup_vs_baseline']:.2f}x, "
+            f"p50={record['p50_latency_ms']:.2f} ms, "
+            f"p99={record['p99_latency_ms']:.2f} ms, "
+            f"identical={record['byte_identical']})"
+        )
+        if not record["byte_identical"]:
+            failures.append(
+                f"queue max_batch={max_batch} memo={memoize} is not byte-identical"
+            )
+        if max_batch == 32 and memoize:
+            acceptance_speedup = record["speedup_vs_baseline"]
+
+    if acceptance_speedup is None or acceptance_speedup < args.min_speedup:
+        failures.append(
+            f"max_batch=32 speedup {acceptance_speedup} < required {args.min_speedup}"
+        )
+
+    payload = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "queries": args.queries,
+            "unique_rows": args.unique,
+            "distribution": "zipf",
+            "train_size": args.train_size,
+            "landmarks": args.landmarks,
+            "features": args.features,
+        },
+        "records": records,
+        "min_speedup_required": args.min_speedup,
+        "acceptance_speedup": acceptance_speedup,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"OK: max_batch=32 queue serves {acceptance_speedup:.2f}x the baseline "
+        "throughput with byte-identical predictions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,19 @@ if str(_SRC) not in sys.path:
 
 from repro.data import DatasetSpec, generate_elliptic_like  # noqa: E402
 
+
+def pytest_collection_modifyitems(items):
+    """Mark every figure/table-reproduction test in this directory ``slow``.
+
+    The split lets CI run the fast unit/property suites (`-m "not slow"`)
+    separately from the heavy benchmark regenerations; a plain ``pytest``
+    still runs everything (the tier-1 command is unchanged).
+    """
+    this_dir = Path(__file__).resolve().parent
+    for item in items:
+        if this_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
 #: Number of qubits used by the resource-scaling benchmarks (paper: 100).
 RESOURCE_QUBITS = 24
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import rowwise_matmul
 from ..exceptions import ConvergenceError, SVMError
 from ..svm.svc import PrecomputedKernelSVC
 
@@ -207,11 +208,17 @@ class LinearSVC:
 
     # ------------------------------------------------------------------
     def decision_function(self, Phi: np.ndarray) -> np.ndarray:
-        """Continuous decision values ``Phi w + b``."""
+        """Continuous decision values ``Phi w + b``.
+
+        Evaluated one row at a time so a point's score is bit-identical
+        whether it arrives alone or inside a larger batch (BLAS would pick a
+        different kernel, and summation order, per matrix shape otherwise);
+        the training loop keeps its vectorised products internally.
+        """
         if self.coef_ is None:
             raise SVMError("model is not fitted")
         Phi = self._validate_features(Phi, self.coef_.size)
-        return Phi @ self.coef_ + self.intercept_
+        return rowwise_matmul(Phi, self.coef_) + self.intercept_
 
     def predict(self, Phi: np.ndarray) -> np.ndarray:
         """Binary predictions in {0, 1}."""

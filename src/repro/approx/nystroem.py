@@ -34,7 +34,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..engine import EngineResult, KernelEngine
+from ..engine import EngineResult, KernelEngine, StackedStateBlock, rowwise_matmul
 from ..exceptions import KernelError
 from ..mps import MPS
 from .landmarks import select_landmarks
@@ -185,6 +185,7 @@ class NystroemFeatureMap:
         self.landmark_indices_: np.ndarray | None = None
         self.landmark_rows_: np.ndarray | None = None
         self.landmark_states_: List[MPS] = []
+        self.landmark_block_: StackedStateBlock | None = None
         self.normalization_: np.ndarray | None = None
         self.rank_: int = 0
         self.train_features_: np.ndarray | None = None
@@ -230,6 +231,9 @@ class NystroemFeatureMap:
             # (served from the store when caching is on).
             states = self.engine.encode_rows(self.landmark_rows_)
         self.landmark_states_ = states
+        # Stack the landmark tensors once; every streaming transform sweeps
+        # against this block with zero per-pair stacking.
+        self.landmark_block_ = StackedStateBlock(states)
 
         cross_result = self.engine.cross(X, self.landmark_states_)
         self.report.absorb(cross_result)
@@ -262,7 +266,12 @@ class NystroemFeatureMap:
             )
         self.rank_ = int(np.count_nonzero(keep))
         self.report.spectral_rank = self.rank_
-        return eigvecs[:, keep] / np.sqrt(eigvals[keep])[None, :]
+        # Canonical C-contiguous layout: BLAS picks its kernel (and thus its
+        # floating-point summation order) by memory layout, so a serialised
+        # copy of the normalisation must not differ in stride from this one.
+        return np.ascontiguousarray(
+            eigvecs[:, keep] / np.sqrt(eigvals[keep])[None, :]
+        )
 
     # ------------------------------------------------------------------
     def transform(self, X_new: np.ndarray) -> np.ndarray:
@@ -274,12 +283,40 @@ class NystroemFeatureMap:
         return self.transform_result(X_new)[0]
 
     def transform_result(self, X_new: np.ndarray) -> tuple[np.ndarray, EngineResult]:
-        """As :meth:`transform`, also returning the raw engine result."""
+        """As :meth:`transform`, also returning the raw engine result.
+
+        The projection is evaluated row-wise so that a point's features do
+        not depend on which other points shared its batch -- the invariant
+        the serving layer's batched-vs-sequential equivalence relies on.
+        """
         self._require_fitted()
         assert self.normalization_ is not None
-        result = self.engine.kernel_rows(X_new, self.landmark_states_)
+        result = self.engine.kernel_rows(
+            X_new, self.landmark_states_, block=self.landmark_block_
+        )
         self.report.absorb(result, transform=True)
-        return result.matrix @ self.normalization_, result
+        return rowwise_matmul(result.matrix, self.normalization_), result
+
+    def project_kernel_rows(self, kernel_rows: np.ndarray) -> np.ndarray:
+        """Map precomputed landmark kernel rows to feature space, row-wise.
+
+        Accepts a ``batch x m`` block of overlaps against the landmarks
+        (e.g. assembled from distributed workers) and applies the same
+        per-row normalisation :meth:`transform_result` uses, so both entry
+        points produce bit-identical features for identical rows.
+        """
+        self._require_fitted()
+        assert self.normalization_ is not None
+        kernel_rows = np.asarray(kernel_rows, dtype=float)
+        if kernel_rows.ndim == 1:
+            kernel_rows = kernel_rows[None, :]
+        m = self.config.num_landmarks
+        if kernel_rows.shape[1] != m:
+            raise KernelError(
+                f"kernel rows have {kernel_rows.shape[1]} columns but the map "
+                f"holds {m} landmarks"
+            )
+        return rowwise_matmul(kernel_rows, self.normalization_)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -289,6 +326,21 @@ class NystroemFeatureMap:
         """Reconstructed kernel block ``Phi_left Phi_right^T``."""
         right = phi_left if phi_right is None else phi_right
         return np.asarray(phi_left) @ np.asarray(right).T
+
+    @staticmethod
+    def reconstruction_error(K_exact: np.ndarray, phi: np.ndarray) -> float:
+        """Relative Frobenius error of the low-rank reconstruction.
+
+        ``|| K - Phi Phi^T ||_F / || K ||_F`` -- the quantity the rank-sweep
+        benchmark and the rank-monotonicity metamorphic test track: keeping
+        more eigenpairs of ``K_mm`` can only shrink it.
+        """
+        K_exact = np.asarray(K_exact, dtype=float)
+        approx = NystroemFeatureMap.approximate_kernel(phi)
+        denom = float(np.linalg.norm(K_exact))
+        if denom == 0.0:
+            raise KernelError("exact kernel matrix is identically zero")
+        return float(np.linalg.norm(K_exact - approx)) / denom
 
     def fit_pair_budget(self, num_samples: int) -> int:
         """Upper bound on fit-time pair evaluations: ``n m + m (m-1)/2``."""

@@ -22,6 +22,7 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
+from ..engine import EngineResult
 from ..exceptions import KernelError, SVMError
 from ..svm import FeatureScaler
 from .nystroem import NystroemFeatureMap
@@ -100,12 +101,16 @@ class StreamingNystroemClassifier:
         """Number of buffered, not-yet-classified rows."""
         return len(self._buffer)
 
-    def classify(self, X_raw: np.ndarray) -> StreamingBatchResult:
-        """Classify a batch immediately (scaling -> row plan -> linear model)."""
+    def scale(self, X_raw: np.ndarray) -> np.ndarray:
+        """Raw rows -> the scaled representation the feature map encodes."""
         X_raw = np.asarray(X_raw, dtype=float)
         if X_raw.ndim == 1:
             X_raw = X_raw[None, :]
-        Xs = self.scaler.transform(X_raw) if self.scaler is not None else X_raw
+        return self.scaler.transform(X_raw) if self.scaler is not None else X_raw
+
+    def classify(self, X_raw: np.ndarray) -> StreamingBatchResult:
+        """Classify a batch immediately (scaling -> row plan -> linear model)."""
+        Xs = self.scale(X_raw)
         phi, engine_result = self.feature_map.transform_result(Xs)
         decisions = np.asarray(self.model.decision_function(phi)).ravel()
         self.num_served += phi.shape[0]
@@ -120,6 +125,42 @@ class StreamingNystroemClassifier:
             cache_misses=engine_result.cache_misses,
             simulation_time_s=engine_result.simulation_time_s,
             inner_product_time_s=engine_result.inner_product_time_s,
+        )
+
+    def classify_kernel_rows(
+        self, kernel_rows: np.ndarray, engine_result: "EngineResult | None" = None
+    ) -> StreamingBatchResult:
+        """Score precomputed landmark kernel rows (distributed flush path).
+
+        ``kernel_rows`` is the ``batch x m`` overlap block against the
+        landmarks, e.g. assembled from worker processes that attached the
+        shared landmark store.  The projection and the decision values run
+        through the exact same row-wise code :meth:`classify` uses, so
+        identical kernel rows yield bit-identical predictions regardless of
+        which process computed the overlaps.  ``engine_result`` (when the
+        caller has one) fills the cost-accounting fields; otherwise they are
+        reported as zero because the quantum work happened elsewhere.
+        """
+        phi = self.feature_map.project_kernel_rows(kernel_rows)
+        decisions = np.asarray(self.model.decision_function(phi)).ravel()
+        self.num_served += phi.shape[0]
+        return StreamingBatchResult(
+            predictions=(decisions > 0).astype(int),
+            decision_values=decisions,
+            features=phi,
+            kernel_rows=np.asarray(kernel_rows, dtype=float),
+            num_simulations=engine_result.num_simulations if engine_result else 0,
+            num_inner_products=(
+                engine_result.num_inner_products if engine_result else 0
+            ),
+            cache_hits=engine_result.cache_hits if engine_result else 0,
+            cache_misses=engine_result.cache_misses if engine_result else 0,
+            simulation_time_s=(
+                engine_result.simulation_time_s if engine_result else 0.0
+            ),
+            inner_product_time_s=(
+                engine_result.inner_product_time_s if engine_result else 0.0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -155,3 +196,30 @@ class StreamingNystroemClassifier:
         result = self.classify(batch)
         self._buffer.clear()
         return result
+
+    # ------------------------------------------------------------------
+    def serving_payload(self) -> dict:
+        """Everything a worker process needs to serve this model, picklable.
+
+        The landmark MPS -- the engine's cached state-store entries for the
+        landmark rows -- are serialised exactly once here; the scaler and the
+        linear model ride along as pickled blobs, and the engine is described
+        by its configuration (workers rebuild it by backend registry name).
+        Feed the result to ``repro.serving.SharedLandmarkStore.attach`` in
+        each worker.
+        """
+        import pickle
+
+        from ..engine import serialize_states
+
+        engine = self.feature_map.engine
+        assert self.feature_map.normalization_ is not None
+        return {
+            "ansatz_kwargs": engine.ansatz.to_dict(),
+            "simulation_kwargs": engine.backend.config.to_dict(),
+            "backend_name": engine.backend.name,
+            "landmark_payload": serialize_states(self.feature_map.landmark_states_),
+            "normalization": np.asarray(self.feature_map.normalization_).copy(),
+            "model_blob": pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL),
+            "scaler_blob": pickle.dumps(self.scaler, protocol=pickle.HIGHEST_PROTOCOL),
+        }

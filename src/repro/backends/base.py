@@ -20,7 +20,7 @@ import numpy as np
 from ..config import SimulationConfig
 from ..exceptions import BackendError
 from ..mps import MPS, InstrumentedMPS, TruncationPolicy
-from ..mps.batched import batched_overlaps
+from ..mps.batched import StackedStateBlock, batched_overlaps
 from .cost_model import DeviceCostModel
 
 __all__ = [
@@ -222,6 +222,12 @@ class Backend(abc.ABC):
         once per pair (same modelled seconds, same ``num_inner_products``),
         so strategies and benchmarks can switch freely between the paths; the
         measured wall time is where batching pays off.
+
+        Every pair goes through the stacked sweep (``min_group_size=1``):
+        the per-pair value is then independent of how the chunk was composed,
+        so re-batching, tiling or coalescing a workload differently yields
+        bit-identical kernel entries -- the invariant the serving layer's
+        metamorphic tests assert.
         """
         modelled = 0.0
         max_chi = 1
@@ -230,7 +236,7 @@ class Backend(abc.ABC):
             max_chi = max(max_chi, chi)
             modelled += self.cost_model.inner_product_time(bra.num_qubits, chi)
         start = time.perf_counter()
-        values = batched_overlaps(pairs)
+        values = batched_overlaps(pairs, min_group_size=1)
         wall = time.perf_counter() - start
 
         self.modelled_inner_product_time_s += modelled
@@ -241,6 +247,50 @@ class Backend(abc.ABC):
             wall_time_s=wall,
             modelled_time_s=modelled,
             num_pairs=len(pairs),
+            max_bond_dimension=max_chi,
+        )
+
+    def inner_product_block(
+        self, bras: Sequence[MPS], block: StackedStateBlock
+    ) -> BatchInnerProductResult:
+        """Overlaps of a query batch against a pre-stacked state block.
+
+        The serving fast path: the block's tensors were stacked once at fit
+        time, so this evaluates all ``len(bras) x block.num_states`` pairs
+        with no per-pair Python stacking, and every value is bit-identical
+        to :meth:`inner_product_batch` on the same pairs.  ``values`` is the
+        2-D overlap matrix in (query, block state) order; counters advance
+        exactly as if each pair had been evaluated individually.
+        """
+        num_pairs = len(bras) * block.num_states
+        modelled = 0.0
+        max_chi = 1
+        if bras:
+            # The cost model is a pure function of (qubits, chi); summing per
+            # unique chi keeps this O(unique chis) instead of O(pairs).
+            bra_chis = np.array([b.max_bond_dimension for b in bras], dtype=int)
+            chi_matrix = np.maximum.outer(bra_chis, block.max_bond_dimensions)
+            unique_chis, counts = np.unique(chi_matrix, return_counts=True)
+            modelled = float(
+                sum(
+                    int(count)
+                    * self.cost_model.inner_product_time(block.num_qubits, int(chi))
+                    for chi, count in zip(unique_chis, counts)
+                )
+            )
+            max_chi = int(unique_chis.max())
+        start = time.perf_counter()
+        values = block.overlaps(bras)
+        wall = time.perf_counter() - start
+
+        self.modelled_inner_product_time_s += modelled
+        self.wall_inner_product_time_s += wall
+        self.num_inner_products += num_pairs
+        return BatchInnerProductResult(
+            values=values,
+            wall_time_s=wall,
+            modelled_time_s=modelled,
+            num_pairs=num_pairs,
             max_bond_dimension=max_chi,
         )
 

@@ -25,10 +25,15 @@ from typing import List
 
 import numpy as np
 
-from ..approx import LinearSVC, NystroemConfig, NystroemFeatureMap
+from ..approx import (
+    LinearSVC,
+    NystroemConfig,
+    NystroemFeatureMap,
+    StreamingNystroemClassifier,
+)
 from ..backends import Backend
 from ..config import AnsatzConfig, SimulationConfig
-from ..engine import EngineConfig, KernelEngine
+from ..engine import EngineConfig, KernelEngine, StackedStateBlock
 from ..exceptions import SVMError
 from ..mps import MPS
 from ..svm import FeatureScaler, PrecomputedKernelSVC
@@ -94,6 +99,7 @@ class QuantumKernelInferenceEngine:
     _scaler: FeatureScaler = field(default_factory=FeatureScaler, repr=False)
     _engine: KernelEngine | None = field(default=None, repr=False)
     _train_states: List[MPS] = field(default_factory=list, repr=False)
+    _train_block: StackedStateBlock | None = field(default=None, repr=False)
     _model: PrecomputedKernelSVC | None = field(default=None, repr=False)
     _feature_map: NystroemFeatureMap | None = field(default=None, repr=False)
     _linear_model: LinearSVC | None = field(default=None, repr=False)
@@ -156,6 +162,7 @@ class QuantumKernelInferenceEngine:
             return self
         result = self.engine.gram(Xs)
         self._train_states = list(result.states)
+        self._train_block = None
         self._model = PrecomputedKernelSVC(C=self.C, tol=self.tol).fit(
             result.matrix, y_train
         )
@@ -186,7 +193,14 @@ class QuantumKernelInferenceEngine:
             decisions = self._linear_model.decision_function(phi)
         else:
             assert self._model is not None
-            result = self.engine.kernel_rows(Xs, self._train_states)
+            if self._train_block is None and self._train_states:
+                # Stack the stored states on first serve (not at fit): the
+                # block duplicates every site tensor, so train-only usage
+                # should not pay the memory.
+                self._train_block = StackedStateBlock(self._train_states)
+            result = self.engine.kernel_rows(
+                Xs, self._train_states, block=self._train_block
+            )
             decisions = self._model.decision_function(result.matrix)
         return InferenceResult(
             predictions=(decisions > 0).astype(int),
@@ -207,3 +221,43 @@ class QuantumKernelInferenceEngine:
     def predict(self, X_new: np.ndarray) -> np.ndarray:
         """Binary predictions in {0, 1} for new raw feature rows."""
         return self.kernel_rows(X_new).predictions
+
+    # ------------------------------------------------------------------
+    def streaming_classifier(
+        self, buffer_size: int = 32
+    ) -> StreamingNystroemClassifier:
+        """The fitted Nystrom model as a raw-traffic streaming classifier.
+
+        Shares this engine's feature map, linear model and scaler (and hence
+        the state store), so the returned classifier's predictions match
+        :meth:`predict` exactly.  Only available on the approximate path --
+        exact serving touches every training state and has no constant-memory
+        streaming story.
+        """
+        self._require_fitted()
+        if self._feature_map is None or self._linear_model is None:
+            raise SVMError(
+                "streaming serving requires a Nystrom-backed engine; "
+                "construct with approximation=NystroemConfig(...)"
+            )
+        return StreamingNystroemClassifier(
+            self._feature_map,
+            self._linear_model,
+            scaler=self._scaler,
+            buffer_size=buffer_size,
+        )
+
+    def serving_queue(self, **queue_kwargs):
+        """An :class:`~repro.serving.AsyncServingQueue` over this model.
+
+        Keyword arguments pass through to the queue constructor
+        (``max_batch``, ``max_wait_ms``, ``workers``, ``seed``, ...).  The
+        caller owns the returned queue and must ``close()`` it (or use it as
+        a context manager).
+        """
+        from ..serving import AsyncServingQueue
+
+        buffer_size = int(queue_kwargs.get("max_batch", 32))
+        return AsyncServingQueue(
+            self.streaming_classifier(buffer_size=buffer_size), **queue_kwargs
+        )

@@ -19,11 +19,19 @@ The kernels, pipeline, inference and distributed layers all dispatch through
 :class:`KernelEngine`; no other module hand-rolls the pairwise loop.
 """
 
-from .batching import batched_overlaps, group_pairs_by_shape, pair_shape_signature
+from .batching import (
+    StackedStateBlock,
+    batched_overlaps,
+    group_pairs_by_shape,
+    pair_shape_signature,
+    rowwise_matmul,
+)
 from .cache import (
     CacheStats,
     StateStore,
     ansatz_fingerprint,
+    deserialize_states,
+    serialize_states,
     simulation_fingerprint,
     state_key,
 )
@@ -47,9 +55,13 @@ __all__ = [
     "ansatz_fingerprint",
     "simulation_fingerprint",
     "state_key",
+    "serialize_states",
+    "deserialize_states",
     "batched_overlaps",
     "group_pairs_by_shape",
     "pair_shape_signature",
+    "StackedStateBlock",
+    "rowwise_matmul",
     "EngineConfig",
     "EngineResult",
     "KernelEngine",

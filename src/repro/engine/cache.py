@@ -22,9 +22,10 @@ that need to apply further gates must ``copy()`` first.
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +39,8 @@ __all__ = [
     "ansatz_fingerprint",
     "simulation_fingerprint",
     "state_key",
+    "serialize_states",
+    "deserialize_states",
 ]
 
 
@@ -74,6 +77,25 @@ def state_key(
     h.update(ansatz_fp.encode())
     h.update(simulation_fp.encode())
     return h.hexdigest()
+
+
+def serialize_states(states: Sequence[MPS]) -> bytes:
+    """Serialise a list of encoded MPS for cross-process shipping.
+
+    The site tensors are exact complex128 arrays, so deserialised states
+    reproduce every downstream overlap bit-for-bit -- the property the
+    distributed cross-Gram fan-out and the serving layer's shared landmark
+    store rely on.  Serialise once, attach in every worker.
+    """
+    return pickle.dumps(list(states), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_states(payload: bytes) -> List[MPS]:
+    """Inverse of :func:`serialize_states`."""
+    states = pickle.loads(payload)
+    if not isinstance(states, list) or not all(isinstance(s, MPS) for s in states):
+        raise EngineError("payload does not deserialise to a list of MPS states")
+    return states
 
 
 @dataclass(frozen=True)
@@ -192,6 +214,46 @@ class StateStore:
         self._entries.clear()
         self._entry_bytes.clear()
         self._bytes_in_use = 0
+
+    # ------------------------------------------------------------------
+    def dump_entries(self, keys: Sequence[str] | None = None) -> bytes:
+        """Serialise (a subset of) the store for attachment in another process.
+
+        ``keys`` selects which entries to ship (all of them by default);
+        unknown keys raise so a serving layer cannot silently ship an
+        incomplete landmark set.  Dumping does not count as a lookup.
+        """
+        if keys is None:
+            selected = list(self._entries.items())
+        else:
+            missing = [k for k in keys if k not in self._entries]
+            if missing:
+                raise EngineError(
+                    f"cannot dump {len(missing)} unknown store key(s): "
+                    f"{missing[:3]}..."
+                    if len(missing) > 3
+                    else f"cannot dump unknown store key(s): {missing}"
+                )
+            selected = [(k, self._entries[k]) for k in keys]
+        return pickle.dumps(selected, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load_entries(self, payload: bytes) -> int:
+        """Attach entries dumped by :meth:`dump_entries`; returns the count.
+
+        Loaded states go through the normal :meth:`put` path, so the byte
+        budget and LRU order apply unchanged.  Typical use: the parent
+        process dumps its landmark states once, every worker attaches them
+        at start-up, and worker-side encodes of those rows become pure cache
+        hits.
+        """
+        entries = pickle.loads(payload)
+        count = 0
+        for key, state in entries:
+            if not isinstance(key, str) or not isinstance(state, MPS):
+                raise EngineError("payload is not a StateStore entry dump")
+            self.put(key, state)
+            count += 1
+        return count
 
     def stats(self) -> CacheStats:
         """Current counter snapshot."""

@@ -36,6 +36,7 @@ from ..circuits import build_feature_map_circuit
 from ..config import AnsatzConfig, SimulationConfig
 from ..exceptions import EngineError, KernelError
 from ..mps import MPS
+from .batching import StackedStateBlock
 from .cache import StateStore, ansatz_fingerprint, simulation_fingerprint, state_key
 from .plan import (
     CrossGramPlan,
@@ -157,6 +158,31 @@ class KernelEngine:
             self.store = None
         self._ansatz_fp = ansatz_fingerprint(ansatz)
         self._simulation_fp = simulation_fingerprint(self.backend.config)
+
+    @classmethod
+    def from_worker_kwargs(
+        cls,
+        ansatz_kwargs: dict,
+        simulation_kwargs: dict,
+        backend_name: str = "cpu",
+        config: "EngineConfig | None" = None,
+    ) -> "KernelEngine":
+        """Rebuild an engine from the plain-dict description shipped to workers.
+
+        Worker processes receive only picklable primitives: the ansatz and
+        simulation configurations as ``to_dict()`` mappings (``dtype`` may
+        arrive as a string) plus the backend registry name.  Every
+        multiprocess worker and serving replica reconstructs its engine
+        through this single entry point, so config-rehydration rules live in
+        one place.
+        """
+        from ..backends import get_backend
+
+        sim_kwargs = dict(simulation_kwargs)
+        if "dtype" in sim_kwargs and isinstance(sim_kwargs["dtype"], str):
+            sim_kwargs["dtype"] = np.dtype(sim_kwargs["dtype"])
+        backend = get_backend(backend_name, SimulationConfig(**sim_kwargs))
+        return cls(AnsatzConfig(**ansatz_kwargs), backend=backend, config=config)
 
     # ------------------------------------------------------------------
     # Encoding
@@ -320,28 +346,57 @@ class KernelEngine:
         return self._result_from_counters(K, states, hits0, misses0)
 
     def cross(self, X_rows: np.ndarray, train_states: Sequence[MPS]) -> EngineResult:
-        """Rectangular kernel between new rows and stored training states."""
+        """Rectangular kernel between new rows and stored training states.
+
+        With the ``"multiprocess"`` executor the rectangular tiles fan out
+        over a local process pool: column states are serialised once and
+        shipped, row circuits are encoded inside the workers, and the result
+        is bit-identical to the sequential cross plan.  Covers the Nystrom
+        ``K_nm`` fit block and bulk test-versus-train scoring; the serving
+        hot path (:meth:`kernel_rows`) stays in-process by design.
+        """
+        if self.config.executor == "multiprocess":
+            return self._cross_multiprocess(X_rows, train_states)
         return self._rectangular(X_rows, train_states, serving=False)
 
     def kernel_rows(
-        self, X_rows: np.ndarray, train_states: Sequence[MPS]
+        self,
+        X_rows: np.ndarray,
+        train_states: Sequence[MPS],
+        block: StackedStateBlock | None = None,
     ) -> EngineResult:
         """Inference-time kernel rows against stored training states.
 
         Identical accounting to :meth:`cross` but executes a
-        :class:`KernelRowPlan`, marking the serving hot path.
+        :class:`KernelRowPlan`, marking the serving hot path.  Passing the
+        ``train_states``' pre-stacked :class:`StackedStateBlock` (built once
+        at fit time) routes the overlaps through the backend's block sweep:
+        no per-pair Python stacking, bit-identical values.
         """
-        return self._rectangular(X_rows, train_states, serving=True)
+        return self._rectangular(X_rows, train_states, serving=True, block=block)
 
     def _rectangular(
-        self, X_rows: np.ndarray, train_states: Sequence[MPS], serving: bool
+        self,
+        X_rows: np.ndarray,
+        train_states: Sequence[MPS],
+        serving: bool,
+        block: StackedStateBlock | None = None,
     ) -> EngineResult:
         if not train_states:
             raise KernelError("train_states must not be empty")
+        if block is not None and block.num_states != len(train_states):
+            raise EngineError(
+                f"stacked block holds {block.num_states} states but "
+                f"{len(train_states)} train states were given"
+            )
         X_rows = self.validate_features(X_rows)
         self.backend.reset_counters()
         hits0, misses0 = self._cache_counts()
         row_states = self.encode_rows(X_rows)
+        if serving and block is not None:
+            result = self.backend.inner_product_block(row_states, block)
+            K = np.abs(result.values) ** 2
+            return self._result_from_counters(K, row_states, hits0, misses0)
         if serving:
             plan: CrossGramPlan = KernelRowPlan(
                 len(train_states), num_rows=len(row_states)
@@ -423,6 +478,38 @@ class KernelEngine:
         )
         self.backend.reset_counters()
         matrix, stats = computer.compute_with_stats(X)
+        return self._result_from_worker_stats(matrix, stats)
+
+    def _cross_multiprocess(
+        self, X_rows: np.ndarray, train_states: Sequence[MPS]
+    ) -> EngineResult:
+        """Fan a rectangular cross plan out over a local process pool.
+
+        The provided column states are serialised once by the computer and
+        attached in every worker (no re-simulation of the columns); only the
+        row circuits are encoded worker-side.  Accounting mirrors
+        :meth:`_gram_multiprocess`: busy times are summed across workers.
+        """
+        from ..parallel.multiprocess import MultiprocessCrossGramComputer
+
+        if not train_states:
+            raise KernelError("train_states must not be empty")
+        X_rows = self.validate_features(X_rows)
+        computer = MultiprocessCrossGramComputer(
+            ansatz=self.ansatz,
+            simulation=self.backend.config,
+            max_workers=self.config.max_workers,
+            num_blocks=self.config.num_blocks,
+            backend_name=self.backend.name,
+        )
+        self.backend.reset_counters()
+        matrix, stats = computer.compute_with_stats(X_rows, train_states)
+        return self._result_from_worker_stats(matrix, stats)
+
+    def _result_from_worker_stats(
+        self, matrix: np.ndarray, stats: dict
+    ) -> EngineResult:
+        """Engine result assembled from aggregated worker accounting."""
         return EngineResult(
             matrix=matrix,
             simulation_time_s=stats["wall_simulation_time_s"],

@@ -71,3 +71,7 @@ class TilingError(ParallelError):
 
 class BackendError(ReproError):
     """Raised when a simulation backend is misconfigured or unavailable."""
+
+
+class ServingError(ReproError):
+    """Raised by the async serving layer (queue misuse, closed service)."""

@@ -32,7 +32,12 @@ from .gates import (
 )
 from .truncation import TruncationPolicy, TruncationRecord, truncate_singular_values
 from .mps import MPS
-from .batched import batched_overlaps, group_pairs_by_shape, pair_shape_signature
+from .batched import (
+    StackedStateBlock,
+    batched_overlaps,
+    group_pairs_by_shape,
+    pair_shape_signature,
+)
 from .instrumented import InstrumentedMPS, MemoryTrace, MemorySample
 
 __all__ = [
@@ -46,6 +51,7 @@ __all__ = [
     "batched_overlaps",
     "group_pairs_by_shape",
     "pair_shape_signature",
+    "StackedStateBlock",
     "hadamard",
     "identity2",
     "pauli_x",

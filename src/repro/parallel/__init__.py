@@ -25,6 +25,7 @@ points on 320 GPUs).
 from .comm import SimulatedComm, CommunicationModel
 from .tiling import (
     Tile,
+    group_tiles_by_owner,
     partition_indices,
     rect_tiling,
     square_tiling,
@@ -33,11 +34,16 @@ from .tiling import (
 from .strategies import (
     DistributedGramResult,
     ProcessTimings,
+    NoMessagingCrossStrategy,
     NoMessagingStrategy,
     RoundRobinStrategy,
 )
-from .executor import KernelWorker, compute_gram_distributed
-from .multiprocess import MultiprocessGramComputer
+from .executor import (
+    KernelWorker,
+    compute_cross_distributed,
+    compute_gram_distributed,
+)
+from .multiprocess import MultiprocessCrossGramComputer, MultiprocessGramComputer
 from .projection import ScalingProjection, project_wall_clock
 
 __all__ = [
@@ -47,14 +53,18 @@ __all__ = [
     "partition_indices",
     "square_tiling",
     "rect_tiling",
+    "group_tiles_by_owner",
     "tiles_cover_matrix",
     "DistributedGramResult",
     "ProcessTimings",
     "NoMessagingStrategy",
+    "NoMessagingCrossStrategy",
     "RoundRobinStrategy",
     "KernelWorker",
     "compute_gram_distributed",
+    "compute_cross_distributed",
     "MultiprocessGramComputer",
+    "MultiprocessCrossGramComputer",
     "ScalingProjection",
     "project_wall_clock",
 ]

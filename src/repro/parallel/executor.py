@@ -25,11 +25,12 @@ from .comm import CommunicationModel
 from .strategies import (
     DistributedGramResult,
     GramDistributionStrategy,
+    NoMessagingCrossStrategy,
     NoMessagingStrategy,
     RoundRobinStrategy,
 )
 
-__all__ = ["KernelWorker", "compute_gram_distributed"]
+__all__ = ["KernelWorker", "compute_gram_distributed", "compute_cross_distributed"]
 
 TimeSource = Literal["wall", "modelled"]
 
@@ -133,3 +134,41 @@ def compute_gram_distributed(
             f"unknown strategy {strategy!r}; expected 'round-robin' or 'no-messaging'"
         )
     return strat.compute(worker, X.shape[0])
+
+
+def compute_cross_distributed(
+    X_rows: np.ndarray,
+    X_cols: np.ndarray,
+    ansatz: AnsatzConfig,
+    num_processes: int,
+    simulation: SimulationConfig | None = None,
+    backend_name: str = "cpu",
+    time_source: TimeSource = "wall",
+    communication: CommunicationModel | None = None,
+) -> DistributedGramResult:
+    """Distributed rectangular cross-Gram with the no-messaging tiling.
+
+    Rows and columns are stacked into one worker matrix (rows first), so the
+    strategy's data index ``i < len(X_rows)`` is output row ``i`` and index
+    ``len(X_rows) + j`` is output column ``j``.  Returns the rectangular
+    matrix with the same per-process accounting envelope as the symmetric
+    entry point.
+    """
+    from ..backends import get_backend
+
+    X_rows = np.asarray(X_rows, dtype=float)
+    X_cols = np.asarray(X_cols, dtype=float)
+    if X_rows.ndim != 2 or X_cols.ndim != 2:
+        raise ParallelError("X_rows and X_cols must be 2-D matrices")
+    if X_rows.shape[1] != X_cols.shape[1]:
+        raise ParallelError(
+            f"row and column features disagree: {X_rows.shape[1]} vs {X_cols.shape[1]}"
+        )
+
+    backend = get_backend(backend_name, simulation)
+    kernel = QuantumKernel(ansatz, backend=backend)
+    worker = KernelWorker(
+        kernel, np.vstack([X_rows, X_cols]), time_source=time_source
+    )
+    strat = NoMessagingCrossStrategy(num_processes, communication)
+    return strat.compute(worker, X_rows.shape[0], X_cols.shape[0])

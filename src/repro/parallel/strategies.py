@@ -40,13 +40,20 @@ import numpy as np
 
 from ..exceptions import ParallelError
 from .comm import CommunicationModel, SimulatedComm
-from .tiling import Tile, partition_indices, square_tiling
+from .tiling import (
+    Tile,
+    group_tiles_by_owner,
+    partition_indices,
+    rect_tiling,
+    square_tiling,
+)
 
 __all__ = [
     "ProcessTimings",
     "DistributedGramResult",
     "GramDistributionStrategy",
     "NoMessagingStrategy",
+    "NoMessagingCrossStrategy",
     "RoundRobinStrategy",
 ]
 
@@ -191,9 +198,7 @@ class NoMessagingStrategy(GramDistributionStrategy):
         timings = [ProcessTimings(rank=r) for r in range(self.num_processes)]
         matrix = np.eye(num_points)
 
-        tiles_by_owner: Dict[int, List[Tile]] = {r: [] for r in range(self.num_processes)}
-        for tile in tiles:
-            tiles_by_owner[tile.owner].append(tile)
+        tiles_by_owner = group_tiles_by_owner(tiles, num_owners=self.num_processes)
 
         for rank in range(self.num_processes):
             t = timings[rank]
@@ -215,6 +220,103 @@ class NoMessagingStrategy(GramDistributionStrategy):
                         local_states[i], local_states[j]
                     )
                     matrix[i, j] = matrix[j, i] = value
+                    t.inner_product_s += seconds
+                    t.num_inner_products += 1
+
+        return DistributedGramResult(
+            matrix=matrix,
+            per_process=timings,
+            strategy=self.name,
+            num_processes=self.num_processes,
+        )
+
+
+class NoMessagingCrossStrategy(GramDistributionStrategy):
+    """Rectangular cross-Gram over tiles; every process simulates its needs.
+
+    The distributed gap the symmetric strategies left open: test-versus-train
+    matrices and the Nystrom ``K_nm`` landmark block are rectangular, so the
+    tile grid comes from :func:`repro.parallel.tiling.rect_tiling` and no
+    mirroring occurs.  The worker indexes one stacked matrix -- rows first,
+    then columns -- so the plain :class:`~repro.parallel.executor.KernelWorker`
+    over ``vstack([X_rows, X_cols])`` drives it unchanged: row ``i`` of the
+    output is data index ``i``, column ``j`` is data index ``num_rows + j``.
+
+    Like :class:`NoMessagingStrategy` there is no communication; a data point
+    touched by tiles on several ranks is re-simulated on each of them and the
+    duplication is charged to the process that performs it.
+    """
+
+    name = "no-messaging-cross"
+
+    def __init__(
+        self,
+        num_processes: int,
+        communication: CommunicationModel | None = None,
+        num_row_blocks: int | None = None,
+        num_col_blocks: int | None = None,
+    ) -> None:
+        super().__init__(num_processes, communication)
+        self.num_row_blocks = num_row_blocks
+        self.num_col_blocks = num_col_blocks
+
+    def _resolve_blocks(self, num_rows: int, num_cols: int) -> Tuple[int, int]:
+        if self.num_row_blocks is not None:
+            rows = min(self.num_row_blocks, num_rows)
+        else:
+            # Aim for roughly one tile per process along the longer axis.
+            rows = min(max(1, int(np.ceil(np.sqrt(self.num_processes)))), num_rows)
+        if self.num_col_blocks is not None:
+            cols = min(self.num_col_blocks, num_cols)
+        else:
+            cols = min(max(1, int(np.ceil(self.num_processes / rows))), num_cols)
+        return rows, cols
+
+    def compute(self, worker, num_rows: int, num_cols: int | None = None) -> DistributedGramResult:
+        """Cross-Gram of ``num_rows x num_cols`` entries over the process grid.
+
+        ``worker.simulate`` must accept stacked indices ``0 .. num_rows +
+        num_cols - 1`` (rows first).  Returns a rectangular matrix inside the
+        usual :class:`DistributedGramResult` accounting envelope.
+        """
+        if num_cols is None:
+            raise ParallelError("NoMessagingCrossStrategy.compute needs num_cols")
+        if num_rows < 1 or num_cols < 1:
+            raise ParallelError(
+                f"cross-Gram needs positive dimensions, got {num_rows} x {num_cols}"
+            )
+        row_blocks, col_blocks = self._resolve_blocks(num_rows, num_cols)
+        tiles = rect_tiling(
+            num_rows,
+            num_cols,
+            row_blocks,
+            col_blocks,
+            num_owners=self.num_processes,
+        )
+
+        timings = [ProcessTimings(rank=r) for r in range(self.num_processes)]
+        matrix = np.zeros((num_rows, num_cols))
+        tiles_by_owner = group_tiles_by_owner(tiles, num_owners=self.num_processes)
+
+        for rank in range(self.num_processes):
+            t = timings[rank]
+            local_states: Dict[int, object] = {}
+            needed: set[int] = set()
+            for tile in tiles_by_owner[rank]:
+                needed.update(tile.row_indices)
+                needed.update(num_rows + j for j in tile.col_indices)
+            for idx in sorted(needed):
+                state, seconds = worker.simulate(idx)
+                local_states[idx] = state
+                t.simulation_s += seconds
+                t.num_simulations += 1
+            t.peak_states_held = len(local_states)
+            for tile in tiles_by_owner[rank]:
+                for (i, j) in tile.entry_pairs():
+                    value, seconds = worker.inner_product(
+                        local_states[i], local_states[num_rows + j]
+                    )
+                    matrix[i, j] = value
                     t.inner_product_s += seconds
                     t.num_inner_products += 1
 

@@ -12,7 +12,7 @@ exactly one tile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ __all__ = [
     "partition_indices",
     "square_tiling",
     "rect_tiling",
+    "group_tiles_by_owner",
     "tiles_cover_matrix",
 ]
 
@@ -183,6 +184,23 @@ def rect_tiling(
             )
             tile_index += 1
     return tiles
+
+
+def group_tiles_by_owner(
+    tiles: Sequence[Tile], num_owners: int | None = None
+) -> Dict[int, List[Tile]]:
+    """Tiles grouped by owning rank, preserving enumeration order.
+
+    ``num_owners`` pre-populates (possibly empty) groups for every rank in
+    ``range(num_owners)`` so strategies can iterate ranks uniformly even when
+    a rank received no tile.
+    """
+    groups: Dict[int, List[Tile]] = (
+        {r: [] for r in range(num_owners)} if num_owners is not None else {}
+    )
+    for tile in tiles:
+        groups.setdefault(tile.owner, []).append(tile)
+    return groups
 
 
 def tiles_cover_matrix(

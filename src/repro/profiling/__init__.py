@@ -3,6 +3,7 @@
 from .timers import Timer, timed
 from .records import RunRecord, RecordCollection
 from .reporting import format_table, summarize_samples, quartiles
+from .serving import ServingMetrics
 
 __all__ = [
     "Timer",
@@ -12,4 +13,5 @@ __all__ = [
     "format_table",
     "summarize_samples",
     "quartiles",
+    "ServingMetrics",
 ]

@@ -1,0 +1,37 @@
+"""Async serving layer over the Nystrom low-rank path.
+
+Production traffic arrives one request at a time; the engine is cheapest per
+point when it works in batches.  This package closes that gap:
+
+* :mod:`~repro.serving.queue` -- :class:`AsyncServingQueue`, a
+  batch-coalescing request queue in front of
+  :class:`~repro.approx.StreamingNystroemClassifier`: requests accumulate up
+  to ``max_batch`` / ``max_wait_ms``, flush as one
+  :class:`~repro.engine.plan.KernelRowPlan`, and resolve futures carrying
+  per-request latency; queue depth / throughput / p50 / p99 land in
+  :class:`repro.profiling.ServingMetrics`.
+* :mod:`~repro.serving.store` -- :class:`SharedLandmarkStore`, the served
+  model serialised once (landmark MPS out of the engine's state store,
+  normalisation, linear model, scaler) and attached per worker process, so
+  flushes fan out over a pool without ever re-simulating a landmark.
+
+The layer's correctness contract -- byte-identical predictions no matter how
+requests were coalesced or distributed -- rests on the engine's
+grouping-invariant batched overlap sweep and the row-wise serving
+projections, and is enforced by ``tests/properties/test_metamorphic_serving.py``.
+"""
+
+from .queue import AsyncServingQueue, ServedPrediction
+from .store import (
+    SharedLandmarkStore,
+    attach_shared_store,
+    shared_store_kernel_rows,
+)
+
+__all__ = [
+    "AsyncServingQueue",
+    "ServedPrediction",
+    "SharedLandmarkStore",
+    "attach_shared_store",
+    "shared_store_kernel_rows",
+]

@@ -1,0 +1,370 @@
+"""Async batch-coalescing request queue over a streaming Nystrom classifier.
+
+A traffic-facing service receives requests one at a time, but the engine is
+at its best when it evaluates one :class:`~repro.engine.plan.KernelRowPlan`
+per *batch*: the per-plan overhead amortises and -- with worker processes --
+the row encodes fan out.  :class:`AsyncServingQueue` sits between the two:
+
+* :meth:`submit` accepts one raw feature row and immediately returns a
+  :class:`concurrent.futures.Future`;
+* a background coalescer thread gathers pending requests until either
+  ``max_batch`` of them are waiting or the oldest has waited ``max_wait_ms``,
+  then flushes the whole batch through the classifier as one plan;
+* with ``workers >= 2`` the flush fans the batch's row blocks out over a
+  persistent process pool whose workers attached the serialised landmark
+  store once at start-up (:mod:`repro.serving.store`); the parent assembles
+  the kernel rows and scores them through the classifier's row-wise path.
+
+Because every overlap runs the grouping-invariant batched sweep and every
+projection is row-wise, a request's prediction is **byte-identical** however
+it was coalesced -- alone, in a full batch, in-process or on a worker.  That
+is the contract the metamorphic test suite pins down, and it also makes the
+queue deterministic: two identical request streams produce identical outputs
+even though wall-clock timing batches them differently.
+
+Per-request latency, batch sizes, queue depth and throughput are recorded in
+a :class:`repro.profiling.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..approx import StreamingNystroemClassifier
+from ..config import make_rng
+from ..exceptions import ServingError
+from ..parallel.tiling import partition_indices
+from ..profiling import ServingMetrics
+from .store import attach_shared_store, shared_store_kernel_rows
+
+__all__ = ["ServedPrediction", "AsyncServingQueue"]
+
+
+@dataclass(frozen=True)
+class ServedPrediction:
+    """Result of one served request plus its queueing accounting."""
+
+    prediction: int
+    decision_value: float
+    latency_s: float
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass
+class _Pending:
+    row: np.ndarray
+    future: "Future[ServedPrediction]"
+    enqueued_at: float
+
+
+class AsyncServingQueue:
+    """Batch-coalescing front end for :class:`StreamingNystroemClassifier`.
+
+    Parameters
+    ----------
+    classifier:
+        The fitted streaming classifier that scores flushed batches.
+    max_batch:
+        Flush as soon as this many requests are pending.
+    max_wait_ms:
+        Flush a partial batch once its oldest request has waited this long.
+    workers:
+        ``0`` or ``1`` scores batches in-process.  ``>= 2`` starts a
+        persistent process pool; each worker attaches the classifier's
+        serialised landmark store once, and every flush fans its row blocks
+        out over the pool.
+    seed:
+        Seed for the queue's random generator.  The only stochastic knob is
+        ``wait_jitter_ms``; with the default jitter of zero the queue is
+        fully deterministic, and *predictions* are deterministic regardless
+        (coalescing never changes results, only latency).
+    wait_jitter_ms:
+        Optional uniform jitter added to each partial-batch deadline so many
+        replicas started together do not flush in lock-step.
+    memoize:
+        Memoise decision values by raw row bytes (LRU, ``memo_capacity``
+        entries).  Scoring is a pure function of the row, so a repeated hot
+        query is answered from the memo without touching the engine -- with
+        *byte-identical* output, because the memo stores exactly what the
+        compute path produced.  Disable for strictly-unique traffic.
+    memo_capacity:
+        LRU entry budget of the response memo.
+    metrics:
+        Externally owned :class:`ServingMetrics` (e.g. shared across queues);
+        a fresh one is created by default.
+    """
+
+    def __init__(
+        self,
+        classifier: StreamingNystroemClassifier,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        workers: int = 0,
+        seed: int | np.random.Generator | None = 0,
+        wait_jitter_ms: float = 0.0,
+        memoize: bool = True,
+        memo_capacity: int = 4096,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if workers < 0:
+            raise ServingError(f"workers must be >= 0, got {workers}")
+        if wait_jitter_ms < 0:
+            raise ServingError(f"wait_jitter_ms must be >= 0, got {wait_jitter_ms}")
+        if memo_capacity < 1:
+            raise ServingError(f"memo_capacity must be >= 1, got {memo_capacity}")
+        self.classifier = classifier
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.workers = int(workers)
+        self.wait_jitter_s = float(wait_jitter_ms) / 1000.0
+        self.rng = make_rng(seed)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._memo: "OrderedDict[bytes, Tuple[int, float]] | None" = (
+            OrderedDict() if memoize else None
+        )
+        self.memo_capacity = int(memo_capacity)
+        self.memo_hits = 0
+        self._expected_features = (
+            classifier.feature_map.engine.ansatz.num_features
+        )
+
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.workers >= 2:
+            payload = classifier.serving_payload()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=attach_shared_store,
+                initargs=(payload,),
+            )
+
+        self._cond = threading.Condition()
+        self._pending: List[_Pending] = []
+        self._in_flight: List["Future[ServedPrediction]"] = []
+        self._flush_requested = False
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="serving-queue", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AsyncServingQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet flushed."""
+        with self._cond:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def submit(self, row: np.ndarray) -> "Future[ServedPrediction]":
+        """Enqueue one raw feature row; returns a future with the result.
+
+        The row's width is validated here so malformed traffic is rejected
+        at ingestion and never poisons a coalesced batch.
+        """
+        row = np.asarray(row, dtype=float).ravel()
+        if row.size != self._expected_features:
+            raise ServingError(
+                f"row has {row.size} features but the service expects "
+                f"{self._expected_features}"
+            )
+        future: "Future[ServedPrediction]" = Future()
+        now = time.perf_counter()
+        with self._cond:
+            if self._closed:
+                raise ServingError("serving queue is closed")
+            self._pending.append(_Pending(row=row, future=future, enqueued_at=now))
+            depth = len(self._pending)
+            self._cond.notify_all()
+        self.metrics.record_enqueue(depth, now)
+        return future
+
+    def submit_many(
+        self, rows: Sequence[np.ndarray] | np.ndarray
+    ) -> List["Future[ServedPrediction]"]:
+        """Enqueue many rows at once (bulk scoring / benchmark driver)."""
+        return [self.submit(row) for row in np.asarray(rows, dtype=float)]
+
+    def flush(self) -> None:
+        """Force pending requests out now and wait for their results.
+
+        Covers both the still-buffered requests and the batch the coalescer
+        already popped but has not finished scoring, so after ``flush()``
+        returns every request submitted before the call has resolved.
+        """
+        with self._cond:
+            waiting = [p.future for p in self._pending] + list(self._in_flight)
+            if self._pending:
+                self._flush_requested = True
+                self._cond.notify_all()
+        for future in waiting:
+            # Result or exception -- either way the flush has completed.
+            try:
+                future.result()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Flush, stop the coalescer thread and shut down the worker pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            if batch:
+                self._process(batch)
+
+    def _collect_batch(self) -> Optional[List[_Pending]]:
+        """Block until a batch is due; ``None`` means shut down."""
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._flush_requested = False
+                self._cond.wait()
+            deadline = self._pending[0].enqueued_at + self.max_wait_s
+            if self.wait_jitter_s > 0.0:
+                deadline += float(self.rng.uniform(0.0, self.wait_jitter_s))
+            while (
+                len(self._pending) < self.max_batch
+                and not self._flush_requested
+                and not self._closed
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            self._in_flight = [p.future for p in batch]
+            if not self._pending:
+                self._flush_requested = False
+            return batch
+
+    def _process(self, batch: List[_Pending]) -> None:
+        start = time.perf_counter()
+        try:
+            outputs = self._score_batch(batch)
+        except Exception as exc:  # propagate to every waiting caller
+            for p in batch:
+                p.future.set_exception(exc)
+            with self._cond:
+                self._in_flight = []
+            return
+        now = time.perf_counter()
+        latencies = [now - p.enqueued_at for p in batch]
+        for i, p in enumerate(batch):
+            prediction, decision = outputs[i]
+            p.future.set_result(
+                ServedPrediction(
+                    prediction=prediction,
+                    decision_value=decision,
+                    latency_s=latencies[i],
+                    batch_size=len(batch),
+                )
+            )
+        with self._cond:
+            self._in_flight = []
+        self.metrics.record_batch(latencies, now - start, now)
+
+    def _score_batch(self, batch: List[_Pending]) -> List[Tuple[int, float]]:
+        """(prediction, decision value) per request, memo-aware.
+
+        Scoring is a pure function of the raw row, so memo hits return the
+        byte-exact output a fresh compute would; only the memo-miss rows go
+        through the classifier (one coalesced plan, possibly fanned out over
+        the worker pool).
+        """
+        if self._memo is None:
+            result = self._classify_rows(np.vstack([p.row for p in batch]))
+            return [
+                (int(result.predictions[i]), float(result.decision_values[i]))
+                for i in range(len(batch))
+            ]
+        keys = [p.row.tobytes() for p in batch]
+        outputs: List[Optional[Tuple[int, float]]] = [None] * len(batch)
+        miss_indices: List[int] = []
+        miss_keys: Dict[bytes, int] = {}
+        for i, key in enumerate(keys):
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._memo.move_to_end(key)
+                self.memo_hits += 1
+                outputs[i] = hit
+            elif key not in miss_keys:
+                # Duplicates inside one batch are computed once.
+                miss_keys[key] = len(miss_indices)
+                miss_indices.append(i)
+        if miss_indices:
+            result = self._classify_rows(
+                np.vstack([batch[i].row for i in miss_indices])
+            )
+            fresh = {
+                key: (
+                    int(result.predictions[local]),
+                    float(result.decision_values[local]),
+                )
+                for key, local in miss_keys.items()
+            }
+            for key, value in fresh.items():
+                self._memo[key] = value
+            while len(self._memo) > self.memo_capacity:
+                self._memo.popitem(last=False)
+            for i, key in enumerate(keys):
+                if outputs[i] is None:
+                    outputs[i] = fresh[key]
+        return [out for out in outputs if out is not None]
+
+    def _classify_rows(self, rows: np.ndarray):
+        if self._pool is not None and rows.shape[0] >= 2:
+            return self._classify_distributed(rows)
+        return self.classifier.classify(rows)
+
+    def _classify_distributed(self, rows: np.ndarray):
+        """Fan one batch's kernel rows out over the worker pool.
+
+        Scaling happens once here (element-wise, hence batch-invariant), the
+        workers compute their block's landmark overlaps against the attached
+        store, and the assembled rows are scored through the classifier's
+        row-wise path -- bit-identical to an in-process ``classify``.
+        """
+        assert self._pool is not None
+        Xs = self.classifier.scale(rows)
+        num_blocks = min(self.workers, Xs.shape[0])
+        blocks = partition_indices(Xs.shape[0], num_blocks)
+        futures = [
+            self._pool.submit(shared_store_kernel_rows, Xs[block]) for block in blocks
+        ]
+        kernel_rows = np.vstack([f.result() for f in futures])
+        return self.classifier.classify_kernel_rows(kernel_rows)

@@ -7,6 +7,8 @@ from repro.config import AnsatzConfig, SimulationConfig
 from repro.engine import (
     StateStore,
     ansatz_fingerprint,
+    deserialize_states,
+    serialize_states,
     simulation_fingerprint,
     state_key,
 )
@@ -120,3 +122,56 @@ def test_put_refreshes_existing_entry_without_double_counting():
 def test_negative_budget_rejected():
     with pytest.raises(EngineError):
         StateStore(max_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# Serialisation (cross-process attach)
+# ----------------------------------------------------------------------
+def test_serialize_states_round_trip_is_exact():
+    states = [_product_state(n) for n in (2, 3, 5)]
+    restored = deserialize_states(serialize_states(states))
+    assert len(restored) == 3
+    for original, copy in zip(states, restored):
+        assert copy.num_qubits == original.num_qubits
+        for a, b in zip(original.tensors, copy.tensors):
+            assert np.array_equal(a, b)
+
+
+def test_deserialize_rejects_non_state_payload():
+    import pickle
+
+    with pytest.raises(EngineError):
+        deserialize_states(pickle.dumps(["not", "states"]))
+
+
+def test_dump_and_load_entries_between_stores():
+    source = StateStore()
+    source.put("a", _product_state(2))
+    source.put("b", _product_state(3))
+    payload = source.dump_entries()
+
+    target = StateStore()
+    assert target.load_entries(payload) == 2
+    assert "a" in target and "b" in target
+    assert target.bytes_in_use == source.bytes_in_use
+
+
+def test_dump_entries_subset_and_unknown_key():
+    store = StateStore()
+    store.put("a", _product_state(2))
+    store.put("b", _product_state(3))
+    partial = StateStore()
+    partial.load_entries(store.dump_entries(keys=["b"]))
+    assert "b" in partial and "a" not in partial
+    with pytest.raises(EngineError):
+        store.dump_entries(keys=["missing"])
+
+
+def test_loaded_entries_respect_byte_budget():
+    source = StateStore()
+    source.put("a", _product_state(2))
+    source.put("b", _product_state(2))
+    one_state_bytes = _product_state(2).memory_bytes
+    target = StateStore(max_bytes=one_state_bytes)
+    target.load_entries(source.dump_entries())
+    assert len(target) == 1  # LRU applied on attach

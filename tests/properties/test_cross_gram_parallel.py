@@ -1,0 +1,140 @@
+"""Properties of the distributed (rect-tiled) cross-Gram fan-out.
+
+The acceptance bar for the distributed Nystrom path is *exactness*: fanning
+the ``K_nm`` tiles over workers must reproduce the serial
+:class:`~repro.engine.plan.CrossGramPlan` Gram **bit for bit**, for arbitrary
+shapes, ragged last tiles and the degenerate ``1 x m`` / ``n x 1`` cases.
+The in-parent mode (``max_workers <= 1``) runs the identical worker code
+path, so the randomized sweep exercises it cheaply, while a dedicated test
+runs a real two-worker process pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnsatzConfig
+from repro.engine import EngineConfig, KernelEngine
+from repro.parallel import (
+    MultiprocessCrossGramComputer,
+    NoMessagingCrossStrategy,
+    compute_cross_distributed,
+    rect_tiling,
+    tiles_cover_matrix,
+)
+
+
+ANSATZ = AnsatzConfig(num_features=4, interaction_distance=1, layers=1, gamma=0.6)
+
+
+@pytest.fixture(scope="module")
+def serial_engine():
+    return KernelEngine(ANSATZ)
+
+
+def _reference_cross(engine, X_rows, X_cols):
+    states = engine.encode_rows(X_cols)
+    return engine.cross(X_rows, states).matrix, states
+
+
+def test_random_shapes_bit_for_bit(serial_engine):
+    """Fan-out == serial cross plan exactly, over random (ragged) shapes."""
+    rng = np.random.default_rng(123)
+    for _ in range(6):
+        n = int(rng.integers(1, 9))
+        m = int(rng.integers(1, 6))
+        blocks = int(rng.integers(1, 4))
+        X_rows = rng.uniform(0.1, 1.9, size=(n, 4))
+        X_cols = rng.uniform(0.1, 1.9, size=(m, 4))
+        reference, col_states = _reference_cross(serial_engine, X_rows, X_cols)
+        computer = MultiprocessCrossGramComputer(
+            ANSATZ, max_workers=1, num_blocks=blocks
+        )
+        fanned = computer.compute(X_rows, col_states)
+        assert fanned.shape == (n, m)
+        assert np.array_equal(fanned, reference), (n, m, blocks)
+
+
+@pytest.mark.parametrize("shape", [(1, 4), (5, 1), (1, 1)])
+def test_degenerate_shapes_bit_for_bit(serial_engine, shape):
+    n, m = shape
+    rng = np.random.default_rng(7)
+    X_rows = rng.uniform(0.1, 1.9, size=(n, 4))
+    X_cols = rng.uniform(0.1, 1.9, size=(m, 4))
+    reference, col_states = _reference_cross(serial_engine, X_rows, X_cols)
+    fanned = MultiprocessCrossGramComputer(ANSATZ, max_workers=1).compute(
+        X_rows, col_states
+    )
+    assert np.array_equal(fanned, reference)
+
+
+def test_two_worker_pool_bit_for_bit(serial_engine):
+    """A real two-process pool reproduces the serial cross-Gram exactly."""
+    rng = np.random.default_rng(42)
+    X_rows = rng.uniform(0.1, 1.9, size=(6, 4))
+    X_cols = rng.uniform(0.1, 1.9, size=(3, 4))
+    reference, col_states = _reference_cross(serial_engine, X_rows, X_cols)
+    computer = MultiprocessCrossGramComputer(ANSATZ, max_workers=2, num_blocks=2)
+    fanned, stats = computer.compute_with_stats(X_rows, col_states)
+    assert np.array_equal(fanned, reference)
+    # Workers encoded only row circuits; the shipped columns are attached.
+    assert stats["num_inner_products"] == 6 * 3
+    assert stats["num_simulations"] <= 6 * 2  # rows re-simulated per stripe
+
+
+def test_engine_multiprocess_cross_matches_sequential(serial_engine):
+    rng = np.random.default_rng(3)
+    X_rows = rng.uniform(0.1, 1.9, size=(5, 4))
+    X_cols = rng.uniform(0.1, 1.9, size=(4, 4))
+    reference, col_states = _reference_cross(serial_engine, X_rows, X_cols)
+    engine = KernelEngine(
+        ANSATZ, config=EngineConfig(executor="multiprocess", max_workers=2, num_blocks=2)
+    )
+    result = engine.cross(X_rows, col_states)
+    assert np.array_equal(result.matrix, reference)
+    assert result.num_inner_products == 5 * 4
+
+
+def test_rect_tiles_cover_random_shapes():
+    rng = np.random.default_rng(11)
+    for _ in range(25):
+        n = int(rng.integers(1, 12))
+        m = int(rng.integers(1, 12))
+        rb = int(rng.integers(1, n + 1))
+        cb = int(rng.integers(1, m + 1))
+        owners = int(rng.integers(1, 5))
+        tiles = rect_tiling(n, m, rb, cb, num_owners=owners)
+        assert tiles_cover_matrix(tiles, n, symmetric=False, num_cols=m)
+        assert all(0 <= t.owner < owners for t in tiles)
+
+
+def test_modeled_cross_strategy_matches_reference(serial_engine):
+    rng = np.random.default_rng(19)
+    X_rows = rng.uniform(0.1, 1.9, size=(6, 4))
+    X_cols = rng.uniform(0.1, 1.9, size=(3, 4))
+    reference, _ = _reference_cross(serial_engine, X_rows, X_cols)
+    result = compute_cross_distributed(X_rows, X_cols, ANSATZ, num_processes=3)
+    assert result.matrix.shape == (6, 3)
+    assert np.allclose(result.matrix, reference, atol=1e-12)
+    assert result.total_inner_products == 6 * 3
+    # Every active process charged its own simulations (no-messaging).
+    assert result.total_simulations >= max(6, 3)
+
+
+def test_modeled_cross_strategy_accounting_is_complete(serial_engine):
+    """Per-process inner products sum to the full rectangle, once each."""
+    rng = np.random.default_rng(21)
+    X_rows = rng.uniform(0.1, 1.9, size=(7, 4))
+    X_cols = rng.uniform(0.1, 1.9, size=(4, 4))
+    result = compute_cross_distributed(X_rows, X_cols, ANSATZ, num_processes=4)
+    assert sum(p.num_inner_products for p in result.per_process) == 7 * 4
+    assert result.strategy == "no-messaging-cross"
+
+
+def test_cross_strategy_rejects_bad_dimensions():
+    from repro.exceptions import ParallelError
+
+    strategy = NoMessagingCrossStrategy(2)
+    with pytest.raises(ParallelError):
+        strategy.compute(None, 4)  # num_cols missing
+    with pytest.raises(ParallelError):
+        strategy.compute(None, 0, 3)

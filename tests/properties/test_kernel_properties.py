@@ -46,7 +46,9 @@ def test_quantum_kernel_matrix_is_valid_gram_matrix(X):
 def test_gaussian_kernel_is_psd_and_bounded(X, alpha):
     K = gaussian_gram_matrix(X, alpha=alpha)
     assert np.allclose(np.diag(K), 1.0)
-    assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+    # exp(-alpha * d^2) legitimately underflows to exactly 0.0 for distant
+    # points (alpha * d^2 > ~745), so the lower bound is inclusive.
+    assert np.all(K >= 0) and np.all(K <= 1.0 + 1e-12)
     assert is_positive_semidefinite(K, atol=1e-7)
     stats = kernel_concentration(K)
     assert 0.0 <= stats["off_diagonal_mean"] <= 1.0

@@ -1,0 +1,288 @@
+"""Encoding benchmark: stacked batch encoding vs per-point circuit simulation.
+
+The serving story batches overlaps, caches states and coalesces requests --
+but until the batched encoding subsystem, every *cold* feature vector still
+simulated its circuit one gate-sweep at a time.  This benchmark measures what
+the stacked sweep (:meth:`repro.backends.Backend.simulate_batch`) buys:
+
+* **encode throughput**: a block of fresh rows encoded per-point
+  (``backend.simulate`` in a loop) versus in stacked sweeps at several batch
+  sizes, with byte-identical states asserted between every mode;
+* **modelled device time**: the per-point versus stacked cost-model entries
+  on both the CPU and simulated-GPU models (the A100's launch overhead is
+  what stacking amortises, extending the Fig. 5 crossover picture);
+* **cold-query serving latency**: a stream of entirely-unseen rows pushed
+  through :class:`repro.serving.AsyncServingQueue` with batch encoding on
+  and off -- throughput and p50/p99 latency per mode, byte-identical
+  decision values required.
+
+The script writes ``BENCH_encoding.json`` and exits non-zero when the
+acceptance contract breaks:
+
+* batch-32 encode throughput must reach at least ``--min-speedup`` (2x) the
+  per-point path;
+* every mode must produce byte-identical states / predictions.
+
+Run with:  python benchmarks/bench_encoding.py [--out BENCH_encoding.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.approx import LinearSVC, NystroemConfig, NystroemFeatureMap
+from repro.approx.streaming import StreamingNystroemClassifier
+from repro.backends import CpuBackend, SimulatedGpuBackend
+from repro.circuits import build_feature_map_circuit
+from repro.config import AnsatzConfig
+from repro.engine import EngineConfig, KernelEngine
+from repro.serving import AsyncServingQueue
+
+
+def states_identical(left, right) -> bool:
+    """Byte-level equality of two encoded state lists."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if len(a.tensors) != len(b.tensors):
+            return False
+        for ta, tb in zip(a.tensors, b.tensors):
+            if ta.shape != tb.shape or ta.tobytes() != tb.tobytes():
+                return False
+    return True
+
+
+def run_encode_throughput(args, rng) -> tuple[list[dict], list[str]]:
+    """Per-point vs stacked encode rates on one block of fresh rows."""
+    ansatz = AnsatzConfig(
+        num_features=args.features,
+        interaction_distance=args.distance,
+        layers=args.layers,
+        gamma=0.8,
+    )
+    X = rng.uniform(0.05, 1.95, size=(args.rows, args.features))
+    circuits = [build_feature_map_circuit(row, ansatz) for row in X]
+
+    backend = CpuBackend()
+    backend.simulate_batch(circuits[:4])  # warm NumPy/LAPACK paths
+    start = time.perf_counter()
+    reference = [backend.simulate(c).state for c in circuits]
+    per_point_s = time.perf_counter() - start
+
+    records = [
+        {
+            "mode": "per-point",
+            "batch_size": 1,
+            "wall_s": per_point_s,
+            "encodes_per_sec": len(circuits) / per_point_s,
+            "byte_identical": True,
+        }
+    ]
+    failures: list[str] = []
+    for batch_size in (1, 8, args.batch):
+        backend = CpuBackend()
+        start = time.perf_counter()
+        states: list = []
+        for lo in range(0, len(circuits), batch_size):
+            states.extend(
+                backend.simulate_batch(circuits[lo : lo + batch_size]).states
+            )
+        elapsed = time.perf_counter() - start
+        identical = states_identical(states, reference)
+        record = {
+            "mode": "batched",
+            "batch_size": batch_size,
+            "wall_s": elapsed,
+            "encodes_per_sec": len(circuits) / elapsed,
+            "speedup_vs_per_point": per_point_s / elapsed,
+            "byte_identical": identical,
+        }
+        records.append(record)
+        print(
+            f"encode batch={batch_size}: {elapsed:.3f} s "
+            f"({record['encodes_per_sec']:.0f} encodes/s, "
+            f"{record['speedup_vs_per_point']:.2f}x, identical={identical})"
+        )
+        if not identical:
+            failures.append(f"batched encode (batch={batch_size}) not byte-identical")
+
+    # Modelled device times: what the stacked launch amortisation is worth on
+    # each device model (one entry per backend).
+    modelled = []
+    for backend in (CpuBackend(), SimulatedGpuBackend()):
+        result = backend.simulate_batch(circuits[: args.batch])
+        modelled.append(
+            {
+                "backend": backend.name,
+                "batch_size": args.batch,
+                "modelled_per_point_s": result.modelled_time_s,
+                "modelled_batched_s": result.modelled_batched_time_s,
+                "modelled_speedup": result.modelled_time_s
+                / result.modelled_batched_time_s,
+            }
+        )
+    return records + modelled, failures
+
+
+def build_classifier(args, batch_encoding: bool) -> StreamingNystroemClassifier:
+    """A freshly fitted Nystrom serving stack (deterministic given the seed)."""
+    rng = np.random.default_rng(args.seed)
+    ansatz = AnsatzConfig(
+        num_features=args.features, interaction_distance=1, layers=2, gamma=0.5
+    )
+    engine = KernelEngine(
+        ansatz,
+        config=EngineConfig(
+            use_cache=True, batch_encoding=batch_encoding, encode_batch_size=args.batch
+        ),
+    )
+    X = rng.uniform(0.05, 1.95, size=(args.train_size, args.features))
+    y = (X.mean(axis=1) > 1.0).astype(int)
+    feature_map = NystroemFeatureMap(
+        engine, NystroemConfig(num_landmarks=args.landmarks, seed=0)
+    )
+    phi = feature_map.fit_transform(X)
+    model = LinearSVC(C=1.0).fit(phi, y)
+    return StreamingNystroemClassifier(feature_map, model, buffer_size=args.batch)
+
+
+def run_cold_serving(args, mode_rng_seed: int = 11) -> tuple[list[dict], list[str]]:
+    """Cold-traffic queue latency with batch encoding on vs off."""
+    rng = np.random.default_rng(mode_rng_seed + args.seed)
+    stream = rng.uniform(0.05, 1.95, size=(args.queries, args.features))
+
+    records = []
+    failures: list[str] = []
+    decisions_by_mode = {}
+    for batch_encoding in (False, True):
+        classifier = build_classifier(args, batch_encoding)
+        queue = AsyncServingQueue(
+            classifier,
+            max_batch=args.batch,
+            max_wait_ms=args.max_wait_ms,
+            memoize=False,
+            seed=0,
+        )
+        start = time.perf_counter()
+        futures = queue.submit_many(stream)
+        results = [f.result(timeout=600) for f in futures]
+        elapsed = time.perf_counter() - start
+        queue.close()
+        snapshot = queue.metrics.to_dict()
+        decisions_by_mode[batch_encoding] = np.array(
+            [r.decision_value for r in results]
+        )
+        record = {
+            "mode": "cold-queue",
+            "batch_encoding": batch_encoding,
+            "queries": args.queries,
+            "wall_s": elapsed,
+            "throughput_rps": args.queries / elapsed,
+            "p50_latency_ms": snapshot["p50_latency_s"] * 1e3,
+            "p99_latency_ms": snapshot["p99_latency_s"] * 1e3,
+            "mean_batch_size": snapshot["mean_batch_size"],
+        }
+        records.append(record)
+        print(
+            f"cold queue batch_encoding={batch_encoding}: {elapsed:.3f} s "
+            f"({record['throughput_rps']:.0f} req/s, "
+            f"p50={record['p50_latency_ms']:.2f} ms, "
+            f"p99={record['p99_latency_ms']:.2f} ms)"
+        )
+    if not np.array_equal(decisions_by_mode[False], decisions_by_mode[True]):
+        failures.append("cold-path predictions differ with batch encoding enabled")
+    records[-1]["speedup_vs_unbatched"] = (
+        records[1]["throughput_rps"] / records[0]["throughput_rps"]
+    )
+    records[-1]["byte_identical"] = not failures
+    return records, failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_encoding.json"))
+    parser.add_argument("--rows", type=int, default=96)
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--features", type=int, default=8)
+    parser.add_argument("--distance", type=int, default=2)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=192)
+    parser.add_argument("--train-size", type=int, default=64)
+    parser.add_argument("--landmarks", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed; fixed seeds keep baseline comparisons deterministic",
+    )
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    print(
+        f"workload: {args.rows} encodes (m={args.features}, d={args.distance}, "
+        f"r={args.layers}), {args.queries} cold queries"
+    )
+
+    encode_records, failures = run_encode_throughput(args, rng)
+    serving_records, serving_failures = run_cold_serving(args)
+    failures.extend(serving_failures)
+
+    acceptance_speedup = next(
+        r["speedup_vs_per_point"]
+        for r in encode_records
+        if r.get("mode") == "batched" and r.get("batch_size") == args.batch
+    )
+    if acceptance_speedup < args.min_speedup:
+        failures.append(
+            f"batch={args.batch} encode speedup {acceptance_speedup:.2f} "
+            f"< required {args.min_speedup}"
+        )
+
+    payload = {
+        "benchmark": "encoding",
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "rows": args.rows,
+            "batch": args.batch,
+            "features": args.features,
+            "distance": args.distance,
+            "layers": args.layers,
+            "cold_queries": args.queries,
+            "train_size": args.train_size,
+            "landmarks": args.landmarks,
+            "seed": args.seed,
+        },
+        "records": encode_records + serving_records,
+        "min_speedup_required": args.min_speedup,
+        "acceptance_speedup": acceptance_speedup,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"OK: batch-{args.batch} stacked encoding reaches {acceptance_speedup:.2f}x "
+        "per-point throughput with byte-identical states and predictions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,6 @@ import pytest
 
 from repro.config import AnsatzConfig
 from repro.parallel import (
-    RoundRobinStrategy,
     ScalingProjection,
     compute_gram_distributed,
 )

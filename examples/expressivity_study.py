@@ -19,7 +19,6 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
 
 from repro.config import AnsatzConfig
 from repro.core import ClassificationExperiment, run_classification_experiment

@@ -20,7 +20,6 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
 
 from repro.config import AnsatzConfig
 from repro.core import QuantumKernelInferenceEngine

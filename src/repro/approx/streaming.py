@@ -13,6 +13,13 @@ the training-set size.
 classification (:meth:`classify`) and record-at-a-time ingestion with
 micro-batching (:meth:`submit` / :meth:`flush`), the pattern a traffic-facing
 service uses to amortise the per-plan overhead at high request rates.
+
+Cold traffic -- rows the engine's state store has not seen -- used to pay one
+full circuit simulation *per point* inside the flush.  The engine now encodes
+a flushed batch's cache misses through one stacked gate sweep
+(:meth:`repro.backends.Backend.simulate_batch`), so the per-point hot path of
+a cold flush is gone while every prediction stays byte-identical to
+point-at-a-time classification.
 """
 
 from __future__ import annotations
@@ -109,7 +116,14 @@ class StreamingNystroemClassifier:
         return self.scaler.transform(X_raw) if self.scaler is not None else X_raw
 
     def classify(self, X_raw: np.ndarray) -> StreamingBatchResult:
-        """Classify a batch immediately (scaling -> row plan -> linear model)."""
+        """Classify a batch immediately (scaling -> row plan -> linear model).
+
+        The kernel-row plan is cache-aware end to end: rows already in the
+        engine's state store skip simulation entirely, and the remaining cold
+        rows are encoded together in one stacked gate sweep before the
+        landmark overlaps run.  ``num_simulations`` on the result therefore
+        counts exactly the batch's cold rows.
+        """
         Xs = self.scale(X_raw)
         phi, engine_result = self.feature_map.transform_result(Xs)
         decisions = np.asarray(self.model.decision_function(phi)).ravel()

@@ -21,6 +21,7 @@ from .base import (
     Backend,
     BackendResult,
     BatchInnerProductResult,
+    BatchSimulationResult,
     InnerProductResult,
 )
 from .cost_model import DeviceCostModel, CPU_COST_MODEL, GPU_COST_MODEL
@@ -32,6 +33,7 @@ __all__ = [
     "Backend",
     "BackendResult",
     "BatchInnerProductResult",
+    "BatchSimulationResult",
     "InnerProductResult",
     "DeviceCostModel",
     "CPU_COST_MODEL",

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,11 @@ from ..config import SimulationConfig
 from ..exceptions import BackendError
 from ..mps import MPS, InstrumentedMPS, TruncationPolicy
 from ..mps.batched import StackedStateBlock, batched_overlaps
+from ..mps.encoding import (
+    GateShapeLog,
+    circuit_structure_signature,
+    encode_circuits,
+)
 from .cost_model import DeviceCostModel
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "BackendResult",
     "InnerProductResult",
     "BatchInnerProductResult",
+    "BatchSimulationResult",
 ]
 
 
@@ -100,6 +106,43 @@ class BatchInnerProductResult:
     modelled_time_s: float
     num_pairs: int
     max_bond_dimension: int
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Outcome of one *batched* circuit-encoding sweep on a backend.
+
+    Attributes
+    ----------
+    states:
+        The encoded MPS, in input order.  Each is bit-identical to what
+        :meth:`Backend.simulate` would have produced for its circuit alone.
+    wall_time_s:
+        Measured Python time for the whole stacked sweep.
+    modelled_time_s:
+        Sum of the per-point modelled device times -- the counters advance
+        exactly as if :meth:`Backend.simulate` had run once per circuit, so
+        engine accounting is invariant under batching.
+    modelled_batched_time_s:
+        Device time under the *stacked* cost model
+        (:meth:`DeviceCostModel.batched_two_qubit_gate_time` and friends):
+        one launch per stacked contraction instead of one per point.  The
+        encoding benchmark compares the two to extend the Fig. 5 crossover
+        study to the encoding primitive.
+    num_circuits / num_structure_groups:
+        Batch size and how many distinct circuit structures it contained.
+    max_bond_dimension / total_memory_bytes:
+        Bond-dimension and memory bookkeeping over the final states.
+    """
+
+    states: Tuple[MPS, ...]
+    wall_time_s: float
+    modelled_time_s: float
+    modelled_batched_time_s: float
+    num_circuits: int
+    num_structure_groups: int
+    max_bond_dimension: int
+    total_memory_bytes: int
 
 
 class Backend(abc.ABC):
@@ -193,6 +236,105 @@ class Backend(abc.ABC):
             memory_bytes=state.memory_bytes,
             num_gates=circuit.num_gates,
             num_two_qubit_gates=circuit.num_two_qubit_gates,
+        )
+
+    def simulate_batch(
+        self, circuits: Sequence, initial_state: MPS | None = None
+    ) -> BatchSimulationResult:
+        """Encode a micro-batch of routed circuits through stacked gate sweeps.
+
+        Circuits are grouped by structure signature (same gate targets in the
+        same order -- all feature-map circuits from one ansatz qualify) and
+        each group is swept with one stacked gufunc per gate, regrouping when
+        per-slice truncation diverges bond dimensions.  Every resulting state
+        is **bit-identical** to :meth:`simulate` on the same circuit, so
+        callers may batch, split or reorder encodes freely without moving a
+        single bit of any downstream kernel entry.
+
+        Counters advance exactly as if :meth:`simulate` had been called once
+        per circuit (same modelled seconds, same ``num_simulations``); the
+        measured wall time is where batching pays off.  The stacked device
+        model (one launch per stacked contraction) is additionally reported
+        as ``modelled_batched_time_s``.
+
+        ``initial_state`` is not supported (the stacked sweep always starts
+        from ``|0...0>``, which is what every feature-map encode uses); a
+        non-default initial state raises :class:`BackendError`.  When the
+        configuration requests per-gate memory traces
+        (``config.track_memory``) the batch falls back to per-point
+        :meth:`simulate` -- instrumentation is inherently per point -- and
+        still returns the same states and accounting.
+        """
+        if initial_state is not None:
+            raise BackendError(
+                "simulate_batch always encodes from |0...0>; "
+                "use simulate() for custom initial states"
+            )
+        circuits = list(circuits)
+        if not circuits:
+            return BatchSimulationResult(
+                states=(),
+                wall_time_s=0.0,
+                modelled_time_s=0.0,
+                modelled_batched_time_s=0.0,
+                num_circuits=0,
+                num_structure_groups=0,
+                max_bond_dimension=1,
+                total_memory_bytes=0,
+            )
+        if self.config.track_memory:
+            results = [self.simulate(circuit) for circuit in circuits]
+            return BatchSimulationResult(
+                states=tuple(r.state for r in results),
+                wall_time_s=sum(r.wall_time_s for r in results),
+                modelled_time_s=sum(r.modelled_time_s for r in results),
+                modelled_batched_time_s=sum(r.modelled_time_s for r in results),
+                num_circuits=len(results),
+                num_structure_groups=len(
+                    {circuit_structure_signature(c) for c in circuits}
+                ),
+                max_bond_dimension=max(r.max_bond_dimension for r in results),
+                total_memory_bytes=sum(r.memory_bytes for r in results),
+            )
+
+        log = GateShapeLog()
+        start = time.perf_counter()
+        states = encode_circuits(circuits, policy=self._policy(), log=log)
+        wall = time.perf_counter() - start
+
+        modelled = 0.0
+        modelled_batched = 0.0
+        for entry in log.entries:
+            if entry[0] == "1q":
+                _kind, count, chi_l, chi_r = entry
+                modelled += count * self.cost_model.single_qubit_gate_time(
+                    chi_l, chi_r
+                )
+                modelled_batched += self.cost_model.batched_single_qubit_gate_time(
+                    count, chi_l, chi_r
+                )
+            else:
+                _kind, count, chi_l, chi_m, chi_r = entry
+                modelled += count * self.cost_model.two_qubit_gate_time(
+                    chi_l, chi_m, chi_r
+                )
+                modelled_batched += self.cost_model.batched_two_qubit_gate_time(
+                    count, chi_l, chi_m, chi_r
+                )
+
+        self.modelled_simulation_time_s += modelled
+        self.wall_simulation_time_s += wall
+        self.num_simulations += len(circuits)
+        num_groups = log.structure_groups
+        return BatchSimulationResult(
+            states=tuple(states),
+            wall_time_s=wall,
+            modelled_time_s=modelled,
+            modelled_batched_time_s=modelled_batched,
+            num_circuits=len(circuits),
+            num_structure_groups=num_groups,
+            max_bond_dimension=max(s.max_bond_dimension for s in states),
+            total_memory_bytes=sum(s.memory_bytes for s in states),
         )
 
     def inner_product(self, bra: MPS, ket: MPS) -> InnerProductResult:

@@ -8,6 +8,13 @@ used to estimate wall-clock time on an NVIDIA A100: large per-call launch and
 transfer overheads, but an order of magnitude higher throughput on large
 contractions.  The CPU/GPU crossover analysis of Figure 5 / Table I is
 performed on these modelled times.  See DESIGN.md, substitution 2.
+
+Batched encodes (:meth:`~repro.backends.Backend.simulate_batch`) matter most
+here: the A100 model's large per-call launch overhead is charged once per
+stacked contraction instead of once per point, which is exactly the regime
+(small ``chi``, overhead-dominated) where the paper's Fig. 5 shows the GPU
+losing to the CPU -- the batched cost-model entries let the crossover study
+quantify how much stacking recovers.
 """
 
 from __future__ import annotations

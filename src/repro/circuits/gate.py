@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -86,6 +87,23 @@ _PARAM_MATRICES = {
 }
 
 
+@lru_cache(maxsize=65536)
+def _cached_matrix(kind: GateKind, angle: float) -> np.ndarray:
+    """Memoised gate-matrix construction, returned as a read-only array.
+
+    Keyed by ``(kind, angle)``; consumers only ever contract the matrix, so
+    sharing one frozen instance is safe and skips the ``kron``-based
+    construction cost on every repeat (fixed prep/routing gates, the
+    layer-repeated data angles, and any hot query re-encoding).
+    """
+    if kind in _FIXED_MATRICES:
+        matrix = _FIXED_MATRICES[kind]()
+    else:
+        matrix = _PARAM_MATRICES[kind](angle)
+    matrix.flags.writeable = False
+    return matrix
+
+
 @dataclass(frozen=True)
 class Operation:
     """One gate applied to specific qubits.
@@ -140,11 +158,13 @@ class Operation:
         """Dense unitary matrix of the operation.
 
         For two-qubit gates the first listed qubit is the most significant
-        bit of the matrix basis.
+        bit of the matrix basis.  Matrices are memoised by ``(kind, angle)``
+        and returned read-only: the prep/routing layers reuse a handful of
+        fixed gates and the ansatz repeats each data angle once per layer,
+        so encoding-heavy paths (cold serving in particular) skip most
+        matrix rebuilds.
         """
-        if self.kind in _FIXED_MATRICES:
-            return _FIXED_MATRICES[self.kind]()
-        return _PARAM_MATRICES[self.kind](self.angle)
+        return _cached_matrix(self.kind, self.angle)
 
     def remap(self, mapping: dict[int, int]) -> "Operation":
         """Return a copy acting on relabelled qubits."""

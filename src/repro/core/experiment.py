@@ -10,10 +10,8 @@ is a thin parameter sweep over it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Literal, Optional
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Literal
 
 from ..config import DEFAULT_C_GRID, AnsatzConfig, SimulationConfig
 from ..data import EllipticLikeDataset, balanced_subsample, generate_elliptic_like, select_features

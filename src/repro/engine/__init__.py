@@ -20,8 +20,12 @@ The kernels, pipeline, inference and distributed layers all dispatch through
 """
 
 from .batching import (
+    GateShapeLog,
     StackedStateBlock,
     batched_overlaps,
+    circuit_structure_signature,
+    encode_circuits,
+    group_circuits_by_structure,
     group_pairs_by_shape,
     pair_shape_signature,
     rowwise_matmul,
@@ -61,6 +65,10 @@ __all__ = [
     "group_pairs_by_shape",
     "pair_shape_signature",
     "StackedStateBlock",
+    "GateShapeLog",
+    "circuit_structure_signature",
+    "encode_circuits",
+    "group_circuits_by_structure",
     "rowwise_matmul",
     "EngineConfig",
     "EngineResult",

@@ -26,12 +26,22 @@ from ..mps.batched import (
     group_pairs_by_shape,
     pair_shape_signature,
 )
+from ..mps.encoding import (
+    GateShapeLog,
+    circuit_structure_signature,
+    encode_circuits,
+    group_circuits_by_structure,
+)
 
 __all__ = [
     "pair_shape_signature",
     "batched_overlaps",
     "group_pairs_by_shape",
     "StackedStateBlock",
+    "GateShapeLog",
+    "circuit_structure_signature",
+    "encode_circuits",
+    "group_circuits_by_structure",
     "rowwise_matmul",
 ]
 

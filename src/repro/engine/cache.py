@@ -25,7 +25,7 @@ import hashlib
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

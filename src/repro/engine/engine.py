@@ -9,7 +9,10 @@ their optimisations, so consumers describe *what* to compute (a
 
 * encoding goes through an optional content-addressed
   :class:`~repro.engine.cache.StateStore`, so a point encoded for training is
-  never re-simulated at inference time;
+  never re-simulated at inference time; multi-row encodes of the remaining
+  cache misses run as stacked gate sweeps
+  (:meth:`repro.backends.Backend.simulate_batch`), bit-identical to
+  per-point simulation;
 * overlap jobs are chunked and dispatched through the backend's batched
   einsum path (:meth:`repro.backends.Backend.inner_product_batch`);
 * the executor -- ``"sequential"``, ``"tiled"`` (cache-friendly tile-ordered
@@ -73,6 +76,13 @@ class EngineConfig:
         auto).
     max_workers:
         Process count for the multiprocess executor (``None`` = auto).
+    batch_encoding:
+        Route multi-row encodes through the backend's stacked gate sweep
+        (:meth:`repro.backends.Backend.simulate_batch`).  States are
+        bit-identical either way; disabling only exists for benchmarks and
+        debugging.
+    encode_batch_size:
+        Maximum circuits per stacked encoding sweep.
     """
 
     executor: str = "sequential"
@@ -81,6 +91,8 @@ class EngineConfig:
     batch_size: int = 64
     num_blocks: Optional[int] = None
     max_workers: Optional[int] = None
+    batch_encoding: bool = True
+    encode_batch_size: int = 32
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -89,6 +101,10 @@ class EngineConfig:
             )
         if self.batch_size < 1:
             raise EngineError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.encode_batch_size < 1:
+            raise EngineError(
+                f"encode_batch_size must be >= 1, got {self.encode_batch_size}"
+            )
 
 
 @dataclass(frozen=True)
@@ -224,9 +240,85 @@ class KernelEngine:
         return state
 
     def encode_rows(self, X: np.ndarray) -> List[MPS]:
-        """Encode every row of ``X`` (validated) to an MPS."""
+        """Encode every row of ``X`` (validated) to an MPS.
+
+        Multi-row encodes run through the backend's stacked gate sweep
+        (:meth:`repro.backends.Backend.simulate_batch`), cache-aware: rows
+        already in the state store are served from it and **only the misses**
+        are simulated, all in one sweep per ``encode_batch_size`` chunk.
+        Because the stacked sweep is bit-identical to per-point simulation,
+        the returned states do not depend on cache occupancy, chunking or
+        batch composition.
+        """
         X = self.validate_features(X)
-        return [self.encode_row(row) for row in X]
+        if X.shape[0] == 1 or not self.config.batch_encoding:
+            return [self.encode_row(row) for row in X]
+        if self.store is None:
+            states: List[MPS | None] = [None] * X.shape[0]
+            self._encode_batched(X, range(X.shape[0]), states)
+            return [s for s in states if s is not None]
+        return self._encode_rows_cached(X)
+
+    def _encode_rows_cached(self, X: np.ndarray) -> List[MPS]:
+        """Store-aware batched encode preserving ``encode_row`` semantics.
+
+        First pass: look every row up in the store (counting hits/misses
+        exactly as row-by-row encoding would).  Unseen rows are batch-encoded
+        and inserted; rows that duplicate an earlier miss within the same
+        call are then re-resolved from the store -- a hit, matching what the
+        sequential path records -- with a per-row fallback if eviction raced
+        the insert.
+        """
+        assert self.store is not None
+        n = X.shape[0]
+        states: List[MPS | None] = [None] * n
+        pending: List[int] = []
+        pending_keys = set()
+        deferred: List[int] = []
+        keys = [
+            state_key(row, self._ansatz_fp, self._simulation_fp) for row in X
+        ]
+        for i in range(n):
+            if keys[i] in pending_keys:
+                # A duplicate of an earlier miss in this same call: resolve it
+                # after the batch encode, so its single store lookup is the
+                # hit the sequential path would record.
+                deferred.append(i)
+                continue
+            cached = self.store.get(keys[i])
+            if cached is not None:
+                states[i] = cached
+            else:
+                pending.append(i)
+                pending_keys.add(keys[i])
+        self._encode_batched(X, pending, states)
+        for i in pending:
+            state = states[i]
+            if state is not None:
+                self.store.put(keys[i], state)
+        for i in deferred:
+            cached = self.store.get(keys[i])
+            states[i] = cached if cached is not None else self.encode_row(X[i])
+        return [s for s in states if s is not None]
+
+    def _encode_batched(
+        self,
+        X: np.ndarray,
+        indices: Iterable[int],
+        states: List["MPS | None"],
+    ) -> None:
+        """Encode the selected rows through stacked sweeps, filling ``states``."""
+        indices = list(indices)
+        chunk_size = self.config.encode_batch_size
+        for lo in range(0, len(indices), chunk_size):
+            chunk = indices[lo : lo + chunk_size]
+            circuits = [
+                build_feature_map_circuit(np.asarray(X[i], dtype=float), self.ansatz)
+                for i in chunk
+            ]
+            result = self.backend.simulate_batch(circuits)
+            for i, state in zip(chunk, result.states):
+                states[i] = state
 
     def cache_stats(self):
         """Store statistics, or ``None`` when caching is disabled."""

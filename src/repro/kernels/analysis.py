@@ -10,7 +10,6 @@ by tests and the extension benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np

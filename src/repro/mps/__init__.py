@@ -38,10 +38,20 @@ from .batched import (
     group_pairs_by_shape,
     pair_shape_signature,
 )
+from .encoding import (
+    GateShapeLog,
+    circuit_structure_signature,
+    encode_circuits,
+    group_circuits_by_structure,
+)
 from .instrumented import InstrumentedMPS, MemoryTrace, MemorySample
 
 __all__ = [
     "MPS",
+    "GateShapeLog",
+    "circuit_structure_signature",
+    "encode_circuits",
+    "group_circuits_by_structure",
     "InstrumentedMPS",
     "MemoryTrace",
     "MemorySample",

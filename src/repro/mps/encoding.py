@@ -1,0 +1,354 @@
+"""Batched circuit encoding: stacked gate sweeps over same-structure circuits.
+
+Encoding a data point -- simulating its feature-map circuit into an MPS -- is
+the last per-point hot path in the serving story: overlaps are batched
+(:mod:`repro.mps.batched`), but every cold query still sweeps its gates one
+Python call at a time.  This module closes that gap.  All circuits built from
+one ansatz share a *structure* (the same ordered sequence of gate targets;
+only the angles differ per data point), so a micro-batch of encodings is the
+same sweep over a stack of tensors:
+
+* circuits are grouped by :func:`circuit_structure_signature` (mirroring the
+  ``pair_shape_signature`` grouping of the overlap path);
+* within a structure group every state starts as the same stacked
+  ``|0...0>`` block and each gate is applied to the whole stack at once --
+  single- and two-qubit contractions are broadcast ``matmul`` gufuncs, QR
+  center moves and the post-gate SVD use NumPy's stacked LAPACK gufuncs;
+* truncation is decided **per slice** (each member's singular values go
+  through the same :meth:`TruncationPolicy.select_rank` a solo simulation
+  would run), so members whose kept ranks diverge are split into new shape
+  groups and the sweep continues per group.
+
+Bit-identicality contract
+-------------------------
+Every per-slice operation of the stacked sweep is the *same gufunc* the
+per-point path in :mod:`repro.mps.tensor_ops` issues (``matmul`` broadcast,
+stacked ``np.linalg.qr`` / ``np.linalg.svd`` inner loops, per-slice
+``scipy.linalg.rq`` and ``select_rank`` calls), and NumPy evaluates gufunc
+slices independently of how many ride in one call.  The resulting site
+tensors are therefore **bit-identical** to per-point
+:meth:`repro.mps.MPS.apply_circuit` simulation -- however the batch was
+composed -- which is the invariant the encoding property suite pins down and
+the serving layer's byte-identical-predictions contract extends to cold
+traffic.
+
+The module lives in the :mod:`repro.mps` layer (it depends only on the MPS
+machinery and NumPy); :mod:`repro.backends` wraps it with device cost-model
+accounting (:meth:`repro.backends.Backend.simulate_batch`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .mps import MPS
+from .tensor_ops import robust_svd
+from .truncation import TruncationPolicy, TruncationRecord
+
+__all__ = [
+    "circuit_structure_signature",
+    "group_circuits_by_structure",
+    "GateShapeLog",
+    "encode_circuits",
+]
+
+
+def circuit_structure_signature(circuit) -> Tuple:
+    """Hashable signature of a circuit's gate *structure* (targets, order).
+
+    Two circuits with equal signatures apply gates to the same qubits in the
+    same order -- only the gate matrices differ -- so their simulations can
+    share one stacked sweep.  All feature-map circuits built from one
+    :class:`~repro.config.AnsatzConfig` have equal signatures by
+    construction.
+    """
+    return (circuit.num_qubits, tuple(op.qubits for op in circuit.operations))
+
+
+def group_circuits_by_structure(circuits: Sequence) -> Dict[Tuple, List[int]]:
+    """Group circuit indices by structure signature (insertion-ordered)."""
+    groups: Dict[Tuple, List[int]] = defaultdict(list)
+    for idx, circuit in enumerate(circuits):
+        groups[circuit_structure_signature(circuit)].append(idx)
+    return dict(groups)
+
+
+@dataclass
+class GateShapeLog:
+    """Per-gate tensor shapes seen by a stacked sweep, for cost models.
+
+    Each entry describes one stacked gate application: ``("1q", count,
+    chi_l, chi_r)`` or ``("2q", count, chi_l, chi_m, chi_r)`` where ``count``
+    is the number of batch members sharing those (pre-gate) bond dimensions.
+    Backends turn the log into modelled device seconds without the encoding
+    layer depending on :mod:`repro.backends`.  ``structure_groups`` records
+    how many distinct circuit structures the batch contained (filled by
+    :func:`encode_circuits`, saving consumers a re-grouping pass).
+    """
+
+    entries: List[Tuple] = field(default_factory=list)
+    structure_groups: int = 0
+
+    def add_single(self, count: int, chi_l: int, chi_r: int) -> None:
+        self.entries.append(("1q", count, chi_l, chi_r))
+
+    def add_two(self, count: int, chi_l: int, chi_m: int, chi_r: int) -> None:
+        self.entries.append(("2q", count, chi_l, chi_m, chi_r))
+
+
+class _ChainBlock:
+    """One shape group of a structure batch: all site tensors stacked.
+
+    ``stacks[site]`` has shape ``(g, l, 2, r)`` -- the ``g`` members' site
+    tensors share every bond dimension, so each gate is one gufunc call.
+    ``members`` maps stack slots back to positions in the caller's circuit
+    list.
+    """
+
+    __slots__ = ("members", "stacks")
+
+    def __init__(self, members: List[int], stacks: List[np.ndarray]) -> None:
+        self.members = members
+        self.stacks = stacks
+
+
+def _stacked_svd(mats: np.ndarray):
+    """Stacked SVD with the same robustness ladder as :func:`robust_svd`.
+
+    ``np.linalg.svd`` on a stack runs the identical LAPACK routine per slice
+    as the single-matrix call, so the factors are bit-identical to per-point
+    :func:`split_theta`.  If any slice fails to converge the whole stack
+    falls back to per-slice :func:`robust_svd` (which retries with scipy's
+    gesvd driver) -- exactly what the per-point path would do.
+    """
+    try:
+        return np.linalg.svd(mats, full_matrices=False)
+    except np.linalg.LinAlgError:
+        us, ss, vhs = [], [], []
+        for mat in mats:
+            u, s, vh = robust_svd(mat)
+            us.append(u)
+            ss.append(s)
+            vhs.append(vh)
+        return np.stack(us), np.stack(ss), np.stack(vhs)
+
+
+def _sweep_structure_group(
+    circuits: Sequence,
+    member_indices: Sequence[int],
+    policy: TruncationPolicy,
+    log: GateShapeLog,
+) -> List[Tuple[int, MPS]]:
+    """Simulate one structure group of circuits through a stacked sweep.
+
+    Returns ``(original_index, state)`` pairs.  See the module docstring for
+    the bit-identicality contract.
+    """
+    template = circuits[member_indices[0]]
+    num_qubits = template.num_qubits
+    batch = len(member_indices)
+    ops_per_member = [list(circuits[m]) for m in member_indices]
+    num_ops = len(ops_per_member[0])
+
+    # The stacked |0...0> start: every site needs its own stack array
+    # because sites are updated independently during the sweep.
+    zero = np.zeros((batch, 1, 2, 1), dtype=np.complex128)
+    zero[:, 0, 0, 0] = 1.0
+    blocks = [
+        _ChainBlock(list(range(batch)), [zero.copy() for _ in range(num_qubits)])
+    ]
+    center = 0
+
+    # Per-member truncation accounting, mirroring the per-point MPS fields.
+    discarded = [0.0] * batch
+    records: List[List[TruncationRecord]] = [[] for _ in range(batch)]
+    gates_applied = 0
+    two_qubit_gates = 0
+
+    for k in range(num_ops):
+        op = ops_per_member[0][k]
+        qubits = op.qubits
+        mats = [ops_per_member[slot][k].matrix() for slot in range(batch)]
+        if len(qubits) == 1:
+            q = qubits[0]
+            for block in blocks:
+                stack = block.stacks[q]
+                g, chi_l, _p, chi_r = stack.shape
+                log.add_single(g, chi_l, chi_r)
+                gates = np.stack([mats[slot] for slot in block.members])
+                # Same broadcast matmul as tensor_ops.apply_single_qubit_gate,
+                # with (batch, left-bond) as the gufunc loop axes.
+                block.stacks[q] = np.matmul(gates[:, None, :, :], stack)
+            gates_applied += 1
+            continue
+
+        if len(qubits) != 2 or qubits[1] != qubits[0] + 1:
+            raise SimulationError(
+                "batched encoding requires a routed circuit "
+                f"(adjacent two-qubit gates); got targets {qubits}"
+            )
+        q = qubits[0]
+
+        # Move the shared orthogonality centre onto the left gate site with
+        # the same QR/RQ steps MPS._move_center performs per point.
+        while center < q:
+            i = center
+            for block in blocks:
+                stack = block.stacks[i]
+                g, chi_l, phys, chi_r = stack.shape
+                qs, rs = np.linalg.qr(stack.reshape(g, chi_l * phys, chi_r))
+                kdim = qs.shape[2]
+                block.stacks[i] = qs.reshape(g, chi_l, phys, kdim)
+                nxt = block.stacks[i + 1]
+                g2, nl, nphys, nr = nxt.shape
+                block.stacks[i + 1] = np.matmul(
+                    rs, nxt.reshape(g2, nl, nphys * nr)
+                ).reshape(g2, kdim, nphys, nr)
+            center = i + 1
+        while center > q:
+            i = center
+            for block in blocks:
+                stack = block.stacks[i]
+                g, chi_l, phys, chi_r = stack.shape
+                # Stacked form of tensor_ops.rq_left: QR of the adjoint, so
+                # the per-slice factors are the bits the per-point call makes.
+                site_mats = stack.reshape(g, chi_l, phys * chi_r)
+                q_adj, r_adj = np.linalg.qr(np.conj(site_mats).transpose(0, 2, 1))
+                kdim = q_adj.shape[2]
+                rs = np.ascontiguousarray(np.conj(r_adj).transpose(0, 2, 1))
+                block.stacks[i] = np.ascontiguousarray(
+                    np.conj(q_adj).transpose(0, 2, 1)
+                ).reshape(g, kdim, phys, chi_r)
+                prv = block.stacks[i - 1]
+                g2, pl, pphys, pr = prv.shape
+                block.stacks[i - 1] = np.matmul(
+                    prv.reshape(g2, pl * pphys, pr), rs
+                ).reshape(g2, pl, pphys, kdim)
+            center = i - 1
+
+        new_blocks: List[_ChainBlock] = []
+        for block in blocks:
+            left_stack = block.stacks[q]
+            right_stack = block.stacks[q + 1]
+            g, chi_l, _p, chi_m = left_stack.shape
+            chi_r = right_stack.shape[3]
+            log.add_two(g, chi_l, chi_m, chi_r)
+            gates = np.stack([mats[slot] for slot in block.members])
+
+            # merge_sites + apply_two_qubit_gate_to_theta + split_theta, each
+            # as the stacked form of the identical gufunc.
+            theta = np.matmul(
+                left_stack.reshape(g, chi_l * 2, chi_m),
+                right_stack.reshape(g, chi_m, 2 * chi_r),
+            )
+            theta = np.matmul(
+                gates[:, None, :, :], theta.reshape(g, chi_l, 4, chi_r)
+            )
+            u, s, vh = _stacked_svd(theta.reshape(g, chi_l * 2, 2 * chi_r))
+
+            # Per-slice truncation: each member keeps exactly the rank a solo
+            # simulation would, then members regroup by their new bond.
+            by_kept: Dict[int, List[int]] = defaultdict(list)
+            for slot in range(g):
+                kept, weight = policy.select_rank(s[slot])
+                member = block.members[slot]
+                discarded[member] += weight
+                records[member].append(
+                    TruncationRecord(
+                        kept=kept,
+                        discarded=int(s.shape[1]) - kept,
+                        discarded_weight=weight,
+                        bond_dimension_before=int(s.shape[1]),
+                        bond_dimension_after=kept,
+                    )
+                )
+                by_kept[kept].append(slot)
+
+            for kept, slots in by_kept.items():
+                if len(slots) == g:
+                    sub_stacks = block.stacks
+                    u_sub, s_sub, vh_sub = u, s, vh
+                    sub_members = block.members
+                else:
+                    sel = np.asarray(slots, dtype=int)
+                    sub_stacks = [
+                        st if site in (q, q + 1) else st[sel]
+                        for site, st in enumerate(block.stacks)
+                    ]
+                    u_sub, s_sub, vh_sub = u[sel], s[sel], vh[sel]
+                    sub_members = [block.members[slot] for slot in slots]
+                g2 = len(sub_members)
+                sub_stacks[q] = u_sub[:, :, :kept].reshape(g2, chi_l, 2, kept)
+                # Same elementwise absorption of the singular values into the
+                # right factor as the per-point path (s[:, None, None] * vh).
+                sub_stacks[q + 1] = (
+                    s_sub[:, :kept, None] * vh_sub[:, :kept, :]
+                ).reshape(g2, kept, 2, chi_r)
+                new_blocks.append(_ChainBlock(sub_members, sub_stacks))
+        blocks = new_blocks
+        center = q + 1
+        gates_applied += 1
+        two_qubit_gates += 1
+
+    results: List[Tuple[int, MPS]] = []
+    for block in blocks:
+        for slot, member in enumerate(block.members):
+            tensors = [block.stacks[site][slot].copy() for site in range(num_qubits)]
+            state = MPS(tensors, truncation=policy, center=center)
+            state._cumulative_discarded_weight = discarded[member]
+            state._truncation_records = records[member]
+            state._gates_applied = gates_applied
+            state._two_qubit_gates_applied = two_qubit_gates
+            results.append((member_indices[member], state))
+    return results
+
+
+def encode_circuits(
+    circuits: Sequence,
+    policy: TruncationPolicy | None = None,
+    log: GateShapeLog | None = None,
+) -> List[MPS]:
+    """Simulate a batch of routed circuits through stacked gate sweeps.
+
+    Circuits are grouped by :func:`circuit_structure_signature`; each group
+    runs one stacked sweep (states that diverge in bond dimension regroup on
+    the fly), so arbitrary mixtures are supported and every resulting MPS is
+    bit-identical to simulating its circuit alone.
+
+    Parameters
+    ----------
+    circuits:
+        Routed :class:`~repro.circuits.Circuit` objects (adjacent two-qubit
+        gates only).
+    policy:
+        Shared truncation policy (the paper's machine-precision default when
+        omitted).
+    log:
+        Optional :class:`GateShapeLog` that accumulates per-gate tensor
+        shapes for backend cost models.
+
+    Returns
+    -------
+    The encoded states, in the same order as ``circuits``.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    if policy is None:
+        policy = TruncationPolicy()
+    if log is None:
+        log = GateShapeLog()
+    states: List[MPS | None] = [None] * len(circuits)
+    groups = group_circuits_by_structure(circuits)
+    log.structure_groups = len(groups)
+    for indices in groups.values():
+        for original_idx, state in _sweep_structure_group(
+            circuits, indices, policy, log
+        ):
+            states[original_idx] = state
+    return [s for s in states if s is not None]

@@ -24,13 +24,14 @@ Fig. 2 which costs ``O(m * chi^3)``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ..exceptions import BondDimensionError, SimulationError
-from . import gates as gatelib
 from .tensor_ops import (
+    absorb_factor_left,
+    absorb_factor_right,
     apply_single_qubit_gate,
     apply_two_qubit_gate_to_theta,
     merge_sites,
@@ -258,12 +259,12 @@ class MPS:
         for i in range(center):
             q, r = qr_right(self._tensors[i])
             self._tensors[i] = q
-            self._tensors[i + 1] = np.tensordot(r, self._tensors[i + 1], axes=([1], [0]))
+            self._tensors[i + 1] = absorb_factor_left(r, self._tensors[i + 1])
         # Right-to-left RQ sweep down to (excluding) the centre.
         for i in range(m - 1, center, -1):
             r, q = rq_left(self._tensors[i])
             self._tensors[i] = q
-            self._tensors[i - 1] = np.tensordot(self._tensors[i - 1], r, axes=([2], [0]))
+            self._tensors[i - 1] = absorb_factor_right(self._tensors[i - 1], r)
         self._center = center
 
     def _move_center(self, target: int) -> None:
@@ -275,13 +276,13 @@ class MPS:
             i = self._center
             q, r = qr_right(self._tensors[i])
             self._tensors[i] = q
-            self._tensors[i + 1] = np.tensordot(r, self._tensors[i + 1], axes=([1], [0]))
+            self._tensors[i + 1] = absorb_factor_left(r, self._tensors[i + 1])
             self._center = i + 1
         while self._center > target:
             i = self._center
             r, q = rq_left(self._tensors[i])
             self._tensors[i] = q
-            self._tensors[i - 1] = np.tensordot(self._tensors[i - 1], r, axes=([2], [0]))
+            self._tensors[i - 1] = absorb_factor_right(self._tensors[i - 1], r)
             self._center = i - 1
 
     # ------------------------------------------------------------------
@@ -337,8 +338,11 @@ class MPS:
 
         # Absorb the singular values into the right factor so the left site
         # stays left-isometric and the centre moves to ``qubit + 1``.
-        self._tensors[qubit] = u
-        self._tensors[qubit + 1] = s[:, None, None] * vh
+        # Canonical C-contiguous layout: einsum picks its summation order by
+        # memory layout, so a truncated-slice view here would make downstream
+        # overlaps differ in the last ulp from batch-encoded states.
+        self._tensors[qubit] = np.ascontiguousarray(u)
+        self._tensors[qubit + 1] = np.ascontiguousarray(s[:, None, None] * vh)
         if canonicalize:
             self._center = qubit + 1
         else:

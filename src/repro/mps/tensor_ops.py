@@ -35,6 +35,8 @@ __all__ = [
     "merge_sites",
     "apply_two_qubit_gate_to_theta",
     "split_theta",
+    "absorb_factor_left",
+    "absorb_factor_right",
     "tensor_memory_bytes",
     "contract_virtual",
 ]
@@ -77,17 +79,27 @@ def qr_right(tensor: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def rq_left(tensor: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """RQ-decompose a site tensor, pushing the R factor to the left.
+    """Factor a site tensor as ``R @ Q``, pushing the R factor to the left.
 
     ``tensor`` has shape ``(l, p, r)``.  Returns ``(R, Q)`` where ``Q`` has
     shape ``(k, p, r)`` and is right-isometric and ``R`` has shape
     ``(l, k)``.  Used for right-canonicalisation sweeps.
+
+    Computed as a QR factorisation of the adjoint, ``A^H = Q~ R~  =>
+    A = R~^H Q~^H``: any isometric split serves canonicalisation equally
+    well, and ``np.linalg.qr`` -- unlike scipy's RQ -- has a stacked gufunc
+    whose per-slice factors are bit-identical to this single-matrix call,
+    which is what keeps batch-encoded states byte-equal to per-point ones.
+    Factors are returned C-contiguous because the GEMM/einsum calls
+    downstream pick their summation order by memory layout.
     """
     left, phys, right = tensor.shape
     mat = tensor.reshape(left, phys * right)
-    r, q = scipy.linalg.rq(mat, mode="economic")
-    k = q.shape[0]
-    return r, q.reshape(k, phys, right)
+    q_adj, r_adj = np.linalg.qr(mat.conj().T)
+    k = q_adj.shape[1]
+    r = np.ascontiguousarray(r_adj.conj().T)
+    q = np.ascontiguousarray(q_adj.conj().T).reshape(k, phys, right)
+    return r, q
 
 
 def apply_single_qubit_gate(tensor: np.ndarray, gate: np.ndarray) -> np.ndarray:
@@ -95,18 +107,30 @@ def apply_single_qubit_gate(tensor: np.ndarray, gate: np.ndarray) -> np.ndarray:
 
     This is Fig. 1(a) of the paper: single-qubit gates never change the
     virtual bond dimension.
+
+    Expressed as a broadcast ``matmul`` (one ``(2, 2) @ (2, r)`` product per
+    left-bond slice) so the batched encoding sweep -- which stacks many
+    states along a leading axis and issues the identical gufunc call -- is
+    bit-for-bit equal to this per-point path.
     """
     # T'[l, p', r] = sum_p G[p', p] T[l, p, r]
-    return np.einsum("ab,lbr->lar", gate, tensor, optimize=True)
+    return np.matmul(gate, tensor)
 
 
 def merge_sites(left_tensor: np.ndarray, right_tensor: np.ndarray) -> np.ndarray:
     """Contract two adjacent site tensors into a rank-4 "theta" tensor.
 
     ``left_tensor`` has shape ``(l, 2, m)`` and ``right_tensor`` has shape
-    ``(m, 2, r)``; the result has shape ``(l, 2, 2, r)``.
+    ``(m, 2, r)``; the result has shape ``(l, 2, 2, r)``.  Formulated as one
+    GEMM so the stacked (batched-encoding) sweep reproduces it bitwise.
     """
-    return np.tensordot(left_tensor, right_tensor, axes=([2], [0]))
+    left, phys, mid = left_tensor.shape
+    mid_r, phys_r, right = right_tensor.shape
+    merged = np.matmul(
+        left_tensor.reshape(left * phys, mid),
+        right_tensor.reshape(mid_r, phys_r * right),
+    )
+    return merged.reshape(left, phys, phys_r, right)
 
 
 def apply_two_qubit_gate_to_theta(theta: np.ndarray, gate: np.ndarray) -> np.ndarray:
@@ -114,12 +138,37 @@ def apply_two_qubit_gate_to_theta(theta: np.ndarray, gate: np.ndarray) -> np.nda
 
     ``theta`` has shape ``(l, 2, 2, r)`` with the left physical index being
     the more significant bit of the gate basis.  The returned tensor has the
-    same shape.
+    same shape.  The two physical legs are fused so the contraction is a
+    broadcast ``(4, 4) @ (4, r)`` matmul per left-bond slice -- the same
+    gufunc the batched encoding sweep applies with an extra batch axis.
     """
     left, p0, p1, right = theta.shape
-    gate4 = gate.reshape(2, 2, 2, 2)  # [out0, out1, in0, in1]
-    # theta'[l, a, b, r] = sum_{p,q} G[a, b, p, q] theta[l, p, q, r]
-    return np.einsum("abpq,lpqr->labr", gate4, theta, optimize=True)
+    # theta'[l, a, b, r] = sum_{p,q} G[ab, pq] theta[l, pq, r]
+    out = np.matmul(gate, theta.reshape(left, p0 * p1, right))
+    return out.reshape(left, p0, p1, right)
+
+
+def absorb_factor_left(factor: np.ndarray, tensor: np.ndarray) -> np.ndarray:
+    """Absorb a ``(k, l)`` bond factor into the left leg of a site tensor.
+
+    ``tensor`` has shape ``(l, p, r)``; the result has shape ``(k, p, r)``.
+    This is the canonicalisation step that pushes a QR/RQ factor onto the
+    neighbouring site, expressed as one GEMM for gufunc-exact batching.
+    """
+    left, phys, right = tensor.shape
+    out = np.matmul(factor, tensor.reshape(left, phys * right))
+    return out.reshape(factor.shape[0], phys, right)
+
+
+def absorb_factor_right(tensor: np.ndarray, factor: np.ndarray) -> np.ndarray:
+    """Absorb an ``(r, k)`` bond factor into the right leg of a site tensor.
+
+    ``tensor`` has shape ``(l, p, r)``; the result has shape ``(l, p, k)``.
+    Mirror image of :func:`absorb_factor_left`.
+    """
+    left, phys, right = tensor.shape
+    out = np.matmul(tensor.reshape(left * phys, right), factor)
+    return out.reshape(left, phys, factor.shape[1])
 
 
 def split_theta(

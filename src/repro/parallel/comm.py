@@ -16,7 +16,7 @@ Figure 8 are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 import numpy as np

@@ -12,7 +12,6 @@ paper-scale projections.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Literal, Tuple
 
 import numpy as np

@@ -33,7 +33,7 @@ library routes its pairwise loops through engine plans.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -41,7 +41,6 @@ import numpy as np
 from ..exceptions import ParallelError
 from .comm import CommunicationModel, SimulatedComm
 from .tiling import (
-    Tile,
     group_tiles_by_owner,
     partition_indices,
     rect_tiling,

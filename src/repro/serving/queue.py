@@ -13,7 +13,11 @@ the row encodes fan out.  :class:`AsyncServingQueue` sits between the two:
 * with ``workers >= 2`` the flush fans the batch's row blocks out over a
   persistent process pool whose workers attached the serialised landmark
   store once at start-up (:mod:`repro.serving.store`); the parent assembles
-  the kernel rows and scores them through the classifier's row-wise path.
+  the kernel rows and scores them through the classifier's row-wise path;
+* a flush's *cold* rows -- memo misses whose states are not in the engine's
+  cache either -- are encoded through one stacked gate sweep rather than one
+  circuit simulation each, closing the last per-point cost of cold traffic
+  (:mod:`repro.mps.encoding`).
 
 Because every overlap runs the grouping-invariant batched sweep and every
 projection is row-wise, a request's prediction is **byte-identical** however
@@ -347,6 +351,9 @@ class AsyncServingQueue:
         return [out for out in outputs if out is not None]
 
     def _classify_rows(self, rows: np.ndarray):
+        # Either path encodes the batch's cache-miss rows in one stacked
+        # sweep (in-process via the classifier's engine; distributed via each
+        # worker's attached-store engine on its row block).
         if self._pool is not None and rows.shape[0] >= 2:
             return self._classify_distributed(rows)
         return self.classifier.classify(rows)

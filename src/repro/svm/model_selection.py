@@ -23,7 +23,6 @@ from .svc import PrecomputedKernelSVC
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (approx uses svm)
     from ..approx import NystroemConfig
-    from ..engine import KernelEngine
 
 __all__ = [
     "train_test_split",

@@ -1,6 +1,5 @@
 """Unit tests for the kernel-bandwidth study."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import bandwidth_study

@@ -1,6 +1,5 @@
 """Unit tests for the CPU / simulated-GPU backends."""
 
-import numpy as np
 import pytest
 
 from repro.backends import (

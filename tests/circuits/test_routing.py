@@ -1,9 +1,8 @@
 """Unit tests for SWAP routing onto the linear chain."""
 
-import numpy as np
 import pytest
 
-from repro.circuits import Circuit, GateKind, Operation
+from repro.circuits import Circuit, GateKind
 from repro.circuits.routing import is_routed, route_to_linear_chain, swap_overhead
 from repro.exceptions import RoutingError
 from repro.mps import MPS

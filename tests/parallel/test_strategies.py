@@ -13,7 +13,6 @@ from repro.config import AnsatzConfig
 from repro.exceptions import ParallelError
 from repro.kernels import QuantumKernel
 from repro.parallel import (
-    CommunicationModel,
     KernelWorker,
     NoMessagingStrategy,
     RoundRobinStrategy,

@@ -1,6 +1,5 @@
 """Unit tests for table formatting and sample summaries."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ReproError

@@ -13,7 +13,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import Circuit, GateKind
-from repro.mps import MPS, TruncationPolicy, gates
+from repro.mps import MPS, TruncationPolicy
 from repro.mps.truncation import truncate_singular_values
 from repro.statevector import StatevectorSimulator, statevector_fidelity
 

@@ -2,7 +2,6 @@
 
 import pickle
 import threading
-import time
 
 import numpy as np
 import pytest

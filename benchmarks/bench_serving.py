@@ -20,7 +20,18 @@ and exits non-zero when the acceptance contract breaks:
   baseline throughput;
 * every queue mode must reproduce the baseline predictions exactly.
 
+``--scenario persistence`` benchmarks the durable tier instead: the same
+stream is served twice through a queue whose engine store is a
+:class:`repro.serving.PersistentStateStore` -- once **cold** (every unique
+row is simulated, then snapshotted) and once **warm** (a simulated process
+restart: a fresh store over the same root, ``warm_up()`` prefetching the
+snapshot before the first request).  The scenario writes
+``BENCH_persistence.json`` and fails unless the warm restart (a) reproduces
+the cold decisions byte-identically, (b) performs zero circuit simulations,
+and (c) cuts p99 latency to at most ``--max-warm-p99-ratio`` of the cold run.
+
 Run with:  python benchmarks/bench_serving.py [--out BENCH_serving.json]
+           python benchmarks/bench_serving.py --scenario persistence [--out BENCH_persistence.json]
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -37,11 +49,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np
 
 from repro import __version__
-from repro.approx import NystroemConfig
+from repro.approx import NystroemConfig, StreamingNystroemClassifier
 from repro.config import AnsatzConfig
 from repro.core import QuantumKernelInferenceEngine
 from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
-from repro.serving import AsyncServingQueue
+from repro.serving import AsyncServingQueue, PersistentStateStore
 
 
 def build_engine(args) -> QuantumKernelInferenceEngine:
@@ -132,9 +144,155 @@ def run_queue(args, stream: np.ndarray, max_batch: int, memoize: bool) -> tuple[
     return decisions, record
 
 
+def run_durable_pass(
+    args, payload_dict: dict, stream: np.ndarray, root: Path, warm: bool
+) -> tuple[np.ndarray, dict, PersistentStateStore]:
+    """One serving pass over a durable store rooted at ``root``.
+
+    ``warm=False`` models first boot (empty tier, every unique row simulated);
+    ``warm=True`` models a process restart (fresh store instance over the
+    same root, warm-up prefetch before the first request).  The response memo
+    is off so repeated keys exercise the state store, which is the tier under
+    test.
+    """
+    store = PersistentStateStore(root)
+    classifier = StreamingNystroemClassifier.from_serving_payload(
+        payload_dict, store=store
+    )
+    store.fingerprint = classifier.feature_map.engine.fingerprint
+    report = store.warm_up() if warm else None
+    queue = AsyncServingQueue(
+        classifier,
+        max_batch=32,
+        max_wait_ms=args.max_wait_ms,
+        memoize=False,
+        seed=0,
+    )
+    start = time.perf_counter()
+    futures = queue.submit_many(stream)
+    results = [f.result(timeout=600) for f in futures]
+    elapsed = time.perf_counter() - start
+    queue.close()
+    decisions = np.array([r.decision_value for r in results])
+    snapshot = queue.metrics.to_dict()
+    stats = store.stats()
+    record = {
+        "mode": "warm-restart" if warm else "cold-boot",
+        "wall_s": elapsed,
+        "throughput_rps": len(stream) / elapsed,
+        "p50_latency_ms": snapshot["p50_latency_s"] * 1e3,
+        "p99_latency_ms": snapshot["p99_latency_s"] * 1e3,
+        "mean_batch_size": snapshot["mean_batch_size"],
+        # A store miss is exactly one circuit simulation on this path.
+        "simulations": stats.misses,
+        "store_hit_rate": stats.hit_rate,
+        "warm_loaded_keys": report.loaded if report is not None else 0,
+    }
+    return decisions, record, store
+
+
+def run_persistence_scenario(args) -> tuple[dict, list]:
+    """Cold boot -> snapshot -> simulated restart with warm-up."""
+    stream = hot_key_stream(args)
+    print(
+        f"workload: {args.queries} requests over {args.unique} unique rows "
+        f"(Zipf), m={args.landmarks} landmarks, durable tier"
+    )
+    payload_dict = build_engine(args).serving_payload()
+    root = Path(
+        args.snapshot_root
+        if args.snapshot_root is not None
+        else tempfile.mkdtemp(prefix="bench-persistence-")
+    )
+
+    cold_decisions, cold, cold_store = run_durable_pass(
+        args, payload_dict, stream, root, warm=False
+    )
+    manifest = cold_store.snapshot()
+    print(
+        f"cold boot: {cold['wall_s']:.3f} s ({cold['throughput_rps']:.0f} req/s, "
+        f"p99={cold['p99_latency_ms']:.2f} ms, {cold['simulations']} simulations); "
+        f"snapshot of {len(manifest.keys)} states written"
+    )
+
+    warm_decisions, warm, _ = run_durable_pass(
+        args, payload_dict, stream, root, warm=True
+    )
+    print(
+        f"warm restart: {warm['wall_s']:.3f} s ({warm['throughput_rps']:.0f} req/s, "
+        f"p99={warm['p99_latency_ms']:.2f} ms, {warm['simulations']} simulations, "
+        f"{warm['warm_loaded_keys']} states prefetched)"
+    )
+
+    byte_identical = bool(np.array_equal(warm_decisions, cold_decisions))
+    warm_vs_cold_p99 = warm["p99_latency_ms"] / cold["p99_latency_ms"]
+    failures = []
+    if not byte_identical:
+        failures.append("warm restart is not byte-identical to the cold boot")
+    if warm["simulations"] != 0:
+        failures.append(
+            f"warm restart ran {warm['simulations']} simulations, expected 0"
+        )
+    if warm_vs_cold_p99 > args.max_warm_p99_ratio:
+        failures.append(
+            f"warm p99 is {warm_vs_cold_p99:.2f}x the cold p99, "
+            f"required <= {args.max_warm_p99_ratio}"
+        )
+
+    payload = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "queries": args.queries,
+            "unique_rows": args.unique,
+            "distribution": "zipf",
+            "train_size": args.train_size,
+            "landmarks": args.landmarks,
+            "features": args.features,
+            "seed": args.seed,
+        },
+        "cold": cold,
+        "warm": warm,
+        "snapshot_states": len(manifest.keys),
+        "snapshot_bytes": manifest.payload_bytes,
+        "warm_loaded_keys": warm["warm_loaded_keys"],
+        "warm_vs_cold_p99": warm_vs_cold_p99,
+        "byte_identical": byte_identical,
+        "max_warm_p99_ratio_required": args.max_warm_p99_ratio,
+        "ok": not failures,
+    }
+    return payload, failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_serving.json"))
+    parser.add_argument(
+        "--scenario",
+        choices=("queue", "persistence"),
+        default="queue",
+        help="'queue' benchmarks batch coalescing; 'persistence' benchmarks "
+        "a cold boot vs a snapshot-warmed restart of the durable tier",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="defaults to BENCH_serving.json / BENCH_persistence.json by scenario",
+    )
+    parser.add_argument(
+        "--snapshot-root",
+        type=Path,
+        default=None,
+        help="durable-tier directory for the persistence scenario "
+        "(default: a fresh temporary directory)",
+    )
+    parser.add_argument(
+        "--max-warm-p99-ratio",
+        type=float,
+        default=0.9,
+        help="the warm restart's p99 must be at most this fraction of cold p99",
+    )
     parser.add_argument("--queries", type=int, default=1024)
     parser.add_argument("--unique", type=int, default=64)
     parser.add_argument("--train-size", type=int, default=160)
@@ -150,6 +308,26 @@ def main() -> None:
         "runs deterministic so baseline comparisons are run-to-run stable",
     )
     args = parser.parse_args()
+    if args.out is None:
+        args.out = Path(
+            "BENCH_persistence.json"
+            if args.scenario == "persistence"
+            else "BENCH_serving.json"
+        )
+
+    if args.scenario == "persistence":
+        payload, failures = run_persistence_scenario(args)
+        args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print(
+            f"OK: warm restart serves byte-identically with 0 simulations at "
+            f"{payload['warm_vs_cold_p99']:.2f}x the cold p99"
+        )
+        return
 
     stream = hot_key_stream(args)
     print(

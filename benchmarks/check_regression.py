@@ -29,6 +29,7 @@ counts), refresh the baselines and commit the diff::
     python benchmarks/bench_engine.py   --out BENCH_engine.json
     python benchmarks/bench_approx.py   --out BENCH_approx.json
     python benchmarks/bench_serving.py  --out BENCH_serving.json --queries 512 --train-size 96 --landmarks 32
+    python benchmarks/bench_serving.py  --scenario persistence --out BENCH_persistence.json --queries 512 --train-size 96 --landmarks 32
     python benchmarks/bench_encoding.py --out BENCH_encoding.json
     python benchmarks/check_regression.py --update-baselines
 
@@ -102,6 +103,20 @@ METRIC_RULES: dict[str, list[Metric]] = {
             "max",
             tolerance=ABS,
         ),
+    ],
+    "BENCH_persistence.json": [
+        Metric("ok", "true"),
+        Metric("byte_identical", "true"),
+        # Warm restarts must stay simulation-free and prefetch every
+        # snapshotted state; a drifting count means warm-up or the snapshot
+        # round-trip changed shape.
+        Metric("warm.simulations", "exact"),
+        Metric("warm_loaded_keys", "exact"),
+        # Absolute cap (the benchmark's own --max-warm-p99-ratio contract):
+        # the warm restart must beat the cold boot's p99 outright, so a
+        # baseline-relative band would let the advantage erode to parity.
+        Metric("warm_vs_cold_p99", "below", tolerance=0.9),
+        Metric("warm.p99_latency_ms", "max", tolerance=ABS),
     ],
     "BENCH_encoding.json": [
         Metric("ok", "true"),

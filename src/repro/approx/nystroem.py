@@ -191,9 +191,49 @@ class NystroemFeatureMap:
         self.train_features_: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_attached(
+        cls,
+        engine: KernelEngine,
+        landmark_states: List[MPS],
+        normalization: np.ndarray,
+        config: NystroemConfig | None = None,
+    ) -> "NystroemFeatureMap":
+        """Rebuild a *fitted* map from shipped parts, without re-fitting.
+
+        Serving replicas receive the landmark states and the ``m x r``
+        normalisation through a serialised payload rather than by running
+        :meth:`fit`; this constructor wires them into a map whose
+        :meth:`transform` / :meth:`project_kernel_rows` paths are exactly the
+        ones a locally fitted map uses, so an attached replica's features are
+        bit-identical to the fitting process's.
+        """
+        if not landmark_states:
+            raise KernelError("an attached feature map needs at least one landmark")
+        normalization = np.ascontiguousarray(np.asarray(normalization, dtype=float))
+        if normalization.ndim != 2 or normalization.shape[0] != len(landmark_states):
+            raise KernelError(
+                f"normalization shape {normalization.shape} does not match "
+                f"{len(landmark_states)} landmark states"
+            )
+        if config is None:
+            config = NystroemConfig(num_landmarks=len(landmark_states))
+        elif config.num_landmarks != len(landmark_states):
+            raise KernelError(
+                f"config expects {config.num_landmarks} landmarks but "
+                f"{len(landmark_states)} states were attached"
+            )
+        fmap = cls(engine, config)
+        fmap.landmark_states_ = list(landmark_states)
+        fmap.landmark_block_ = StackedStateBlock(fmap.landmark_states_)
+        fmap.normalization_ = normalization
+        fmap.rank_ = int(normalization.shape[1])
+        fmap.report.spectral_rank = fmap.rank_
+        return fmap
+
     @property
     def is_fitted(self) -> bool:
-        """Whether :meth:`fit` has completed."""
+        """Whether the map holds fitted parts (via :meth:`fit` or attach)."""
         return self.normalization_ is not None
 
     def _require_fitted(self) -> None:

@@ -212,6 +212,61 @@ class StreamingNystroemClassifier:
         return result
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_serving_payload(
+        cls,
+        payload: dict,
+        buffer_size: int = 32,
+        store=None,
+    ) -> "StreamingNystroemClassifier":
+        """Rebuild a full serving replica from a :meth:`serving_payload` dict.
+
+        The replica owns a fresh cache-enabled engine (rebuilt by backend
+        registry name), the deserialised landmark states, and unpickled
+        copies of the linear model and scaler -- everything needed to serve
+        traffic with predictions bit-identical to the process that produced
+        the payload.  ``store`` optionally injects an externally owned state
+        store (e.g. a :class:`repro.serving.PersistentStateStore` that warm
+        starts the replica from an on-disk snapshot).
+        """
+        import pickle
+
+        from ..engine import EngineConfig, KernelEngine, deserialize_states
+
+        missing = [
+            k
+            for k in (
+                "ansatz_kwargs",
+                "simulation_kwargs",
+                "backend_name",
+                "landmark_payload",
+                "normalization",
+                "model_blob",
+                "scaler_blob",
+            )
+            if k not in payload
+        ]
+        if missing:
+            raise SVMError(f"serving payload is missing keys: {missing}")
+        engine = KernelEngine.from_worker_kwargs(
+            payload["ansatz_kwargs"],
+            payload["simulation_kwargs"],
+            payload["backend_name"],
+            config=EngineConfig(use_cache=True),
+            store=store,
+        )
+        feature_map = NystroemFeatureMap.from_attached(
+            engine,
+            deserialize_states(payload["landmark_payload"]),
+            payload["normalization"],
+        )
+        return cls(
+            feature_map,
+            pickle.loads(payload["model_blob"]),
+            scaler=pickle.loads(payload["scaler_blob"]),
+            buffer_size=buffer_size,
+        )
+
     def serving_payload(self) -> dict:
         """Everything a worker process needs to serve this model, picklable.
 

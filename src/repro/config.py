@@ -173,6 +173,56 @@ class SVMConfig:
         return asdict(self)
 
 
+@dataclass(frozen=True)
+class ServingConfig:
+    """Deployment-facing knobs of the durable serving tier.
+
+    One declarative bundle for everything between a fitted model and a
+    traffic-ready fleet: coalescing (``max_batch`` / ``max_wait_ms``), the
+    replica fleet (``num_replicas`` / ``routing_policy``), admission control
+    (``queue_depth_high_water``), and durability (``snapshot_root`` plus the
+    warm-up key budget).  Consumed by
+    :meth:`repro.serving.ReplicaRouter.from_config`.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 5.0
+    num_replicas: int = 1
+    routing_policy: str = "round-robin"
+    queue_depth_high_water: int | None = None
+    snapshot_root: str | None = None
+    warm_max_keys: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.num_replicas < 1:
+            raise ConfigurationError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
+        if (
+            self.queue_depth_high_water is not None
+            and self.queue_depth_high_water < 1
+        ):
+            raise ConfigurationError(
+                "queue_depth_high_water must be >= 1 or None, got "
+                f"{self.queue_depth_high_water}"
+            )
+        if self.warm_max_keys is not None and self.warm_max_keys < 0:
+            raise ConfigurationError(
+                f"warm_max_keys must be >= 0 or None, got {self.warm_max_keys}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
 #: The regularisation grid the paper scans for every reported metric.
 DEFAULT_C_GRID: tuple[float, ...] = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 4.0)
 

@@ -261,3 +261,24 @@ class QuantumKernelInferenceEngine:
         return AsyncServingQueue(
             self.streaming_classifier(buffer_size=buffer_size), **queue_kwargs
         )
+
+    def serving_payload(self) -> dict:
+        """The fitted model as one picklable payload (see streaming docs).
+
+        Serialised once, attached anywhere: pool workers, standalone
+        replicas, or a :class:`~repro.serving.ReplicaRouter` fleet.
+        """
+        return self.streaming_classifier().serving_payload()
+
+    def replica_router(self, **router_kwargs):
+        """A :class:`~repro.serving.ReplicaRouter` fleet over this model.
+
+        Serialises the fitted model once and hands it to the router, which
+        attaches one replica engine per ``num_replicas``.  Keyword arguments
+        pass through (``num_replicas``, ``policy``,
+        ``queue_depth_high_water``, ``persistence_root``, plus any queue
+        knobs); the caller owns the returned router and must ``close()`` it.
+        """
+        from ..serving import ReplicaRouter
+
+        return ReplicaRouter(self.serving_payload(), **router_kwargs)

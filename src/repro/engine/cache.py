@@ -238,22 +238,60 @@ class StateStore:
         return pickle.dumps(selected, protocol=pickle.HIGHEST_PROTOCOL)
 
     def load_entries(self, payload: bytes) -> int:
-        """Attach entries dumped by :meth:`dump_entries`; returns the count.
+        """Attach entries dumped by :meth:`dump_entries`; returns the count
+        of entries actually accepted.
 
         Loaded states go through the normal :meth:`put` path, so the byte
         budget and LRU order apply unchanged.  Typical use: the parent
         process dumps its landmark states once, every worker attaches them
         at start-up, and worker-side encodes of those rows become pure cache
         hits.
+
+        The payload shape is validated before any entry is inserted, so a
+        malformed blob raises :class:`~repro.exceptions.EngineError` instead
+        of an arbitrary unpickling exception and never leaves the store
+        half-loaded.  Entries whose tensor bytes alone exceed ``max_bytes``
+        are *skipped* (they could never be retained and would only churn the
+        LRU) and do not contribute to the returned count.
         """
-        entries = pickle.loads(payload)
+        try:
+            entries = pickle.loads(payload)
+        except Exception as exc:
+            raise EngineError(
+                f"payload does not deserialise to a StateStore entry dump: {exc}"
+            ) from exc
+        if not isinstance(entries, list) or not all(
+            isinstance(item, (tuple, list))
+            and len(item) == 2
+            and isinstance(item[0], str)
+            and isinstance(item[1], MPS)
+            for item in entries
+        ):
+            raise EngineError("payload is not a StateStore entry dump")
         count = 0
         for key, state in entries:
-            if not isinstance(key, str) or not isinstance(state, MPS):
-                raise EngineError("payload is not a StateStore entry dump")
+            if self.max_bytes is not None and state.memory_bytes > self.max_bytes:
+                continue
             self.put(key, state)
             count += 1
         return count
+
+    def keys(self) -> List[str]:
+        """Cached keys in LRU order (least recently used first).
+
+        This is exactly the order :meth:`dump_entries` serialises when given
+        no explicit key list, so a snapshot manifest can record the payload's
+        layout without deserialising it.
+        """
+        return list(self._entries)
+
+    def entry_sizes(self) -> dict[str, int]:
+        """Tensor bytes per cached key.
+
+        Snapshot manifests persist these sizes so a warm-up pass can budget
+        its prefetch without deserialising any state first.
+        """
+        return dict(self._entry_bytes)
 
     def stats(self) -> CacheStats:
         """Current counter snapshot."""

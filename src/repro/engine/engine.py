@@ -175,6 +175,16 @@ class KernelEngine:
         self._ansatz_fp = ansatz_fingerprint(ansatz)
         self._simulation_fp = simulation_fingerprint(self.backend.config)
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this engine's compute policy.
+
+        Combines the ansatz and simulation fingerprints that key the state
+        store, so two engines share cache entries -- and may exchange
+        persisted snapshots -- exactly when their fingerprints match.
+        """
+        return f"{self._ansatz_fp}|{self._simulation_fp}"
+
     @classmethod
     def from_worker_kwargs(
         cls,
@@ -182,6 +192,7 @@ class KernelEngine:
         simulation_kwargs: dict,
         backend_name: str = "cpu",
         config: "EngineConfig | None" = None,
+        store: StateStore | None = None,
     ) -> "KernelEngine":
         """Rebuild an engine from the plain-dict description shipped to workers.
 
@@ -198,7 +209,9 @@ class KernelEngine:
         if "dtype" in sim_kwargs and isinstance(sim_kwargs["dtype"], str):
             sim_kwargs["dtype"] = np.dtype(sim_kwargs["dtype"])
         backend = get_backend(backend_name, SimulationConfig(**sim_kwargs))
-        return cls(AnsatzConfig(**ansatz_kwargs), backend=backend, config=config)
+        return cls(
+            AnsatzConfig(**ansatz_kwargs), backend=backend, config=config, store=store
+        )
 
     # ------------------------------------------------------------------
     # Encoding

@@ -75,3 +75,11 @@ class BackendError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the async serving layer (queue misuse, closed service)."""
+
+
+class PersistenceError(ServingError):
+    """Raised by the durable snapshot tier (corrupt payloads, bad manifests)."""
+
+
+class LoadShedError(ServingError):
+    """Raised when the replica router rejects a request under overload."""

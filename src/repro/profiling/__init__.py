@@ -3,7 +3,7 @@
 from .timers import Timer, timed
 from .records import RunRecord, RecordCollection
 from .reporting import format_table, summarize_samples, quartiles
-from .serving import ServingMetrics
+from .serving import RouterMetrics, ServingMetrics
 
 __all__ = [
     "Timer",
@@ -14,4 +14,5 @@ __all__ = [
     "summarize_samples",
     "quartiles",
     "ServingMetrics",
+    "RouterMetrics",
 ]

@@ -1,7 +1,8 @@
 """Async serving layer over the Nystrom low-rank path.
 
 Production traffic arrives one request at a time; the engine is cheapest per
-point when it works in batches.  This package closes that gap:
+point when it works in batches, and a real service must also survive
+restarts and run more than one replica.  This package closes those gaps:
 
 * :mod:`~repro.serving.queue` -- :class:`AsyncServingQueue`, a
   batch-coalescing request queue in front of
@@ -14,14 +15,42 @@ point when it works in batches.  This package closes that gap:
   model serialised once (landmark MPS out of the engine's state store,
   normalisation, linear model, scaler) and attached per worker process, so
   flushes fan out over a pool without ever re-simulating a landmark.
+* :mod:`~repro.serving.persistence` -- :class:`PersistentStateStore`, the
+  durable tier: content-addressed on-disk snapshots of the state store
+  (atomic temp-write-then-rename, versioned checksummed manifest) plus an
+  access-log-ordered :meth:`~PersistentStateStore.warm_up` prefetch so a
+  restarted process serves its hottest keys simulation-free from the first
+  request.
+* :mod:`~repro.serving.router` -- :class:`ReplicaRouter`, ``N`` queue
+  replicas attached from one serving payload behind pluggable routing
+  policies (round-robin, least-depth, key-affinity), high-water load
+  shedding, and one aggregated :class:`repro.profiling.RouterMetrics` view.
 
 The layer's correctness contract -- byte-identical predictions no matter how
-requests were coalesced or distributed -- rests on the engine's
-grouping-invariant batched overlap sweep and the row-wise serving
-projections, and is enforced by ``tests/properties/test_metamorphic_serving.py``.
+requests were coalesced, distributed, routed, or whether the process warm- or
+cold-started -- rests on the engine's grouping-invariant batched overlap
+sweep and the row-wise serving projections, and is enforced by
+``tests/properties/test_metamorphic_serving.py``,
+``tests/properties/test_router_metamorphic.py`` and the crash-recovery suite
+in ``tests/serving/``.
 """
 
+from .persistence import (
+    SNAPSHOT_VERSION,
+    PersistentStateStore,
+    SnapshotManifest,
+    WarmUpReport,
+)
 from .queue import AsyncServingQueue, ServedPrediction
+from .router import (
+    ROUTING_POLICIES,
+    KeyAffinityPolicy,
+    LeastDepthPolicy,
+    ReplicaRouter,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_routing_policy,
+)
 from .store import (
     SharedLandmarkStore,
     attach_shared_store,
@@ -34,4 +63,15 @@ __all__ = [
     "SharedLandmarkStore",
     "attach_shared_store",
     "shared_store_kernel_rows",
+    "PersistentStateStore",
+    "SnapshotManifest",
+    "WarmUpReport",
+    "SNAPSHOT_VERSION",
+    "ReplicaRouter",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastDepthPolicy",
+    "KeyAffinityPolicy",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
 ]

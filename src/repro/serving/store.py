@@ -93,8 +93,12 @@ class SharedLandmarkStore:
 
     # ------------------------------------------------------------------
     @classmethod
-    def attach(cls, payload: Dict) -> "SharedLandmarkStore":
-        """Rebuild a serving replica from a :meth:`serving_payload` dict."""
+    def attach(cls, payload: Dict, store=None) -> "SharedLandmarkStore":
+        """Rebuild a serving replica from a :meth:`serving_payload` dict.
+
+        ``store`` optionally injects an externally owned state store into
+        the replica engine (e.g. a persistent tier that warm-starts it).
+        """
         missing = [k for k in _REQUIRED_KEYS if k not in payload]
         if missing:
             raise ServingError(f"serving payload is missing keys: {missing}")
@@ -103,6 +107,7 @@ class SharedLandmarkStore:
             payload["simulation_kwargs"],
             payload["backend_name"],
             config=EngineConfig(use_cache=True),
+            store=store,
         )
         return cls(
             engine=engine,

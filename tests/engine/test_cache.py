@@ -175,3 +175,51 @@ def test_loaded_entries_respect_byte_budget():
     target = StateStore(max_bytes=one_state_bytes)
     target.load_entries(source.dump_entries())
     assert len(target) == 1  # LRU applied on attach
+
+
+def test_load_entries_skips_oversized_entries_without_crashing():
+    # Regression: an entry whose tensors alone exceed the budget must be
+    # skipped (it could never be retained) and must not inflate the count.
+    source = StateStore()
+    source.put("small", _product_state(2))
+    source.put("huge", _product_state(6))
+    small_bytes = _product_state(2).memory_bytes
+    assert _product_state(6).memory_bytes > small_bytes
+
+    target = StateStore(max_bytes=small_bytes)
+    accepted = target.load_entries(source.dump_entries())
+    assert accepted == 1
+    assert "small" in target and "huge" not in target
+    assert target.bytes_in_use == small_bytes
+    # The skip is not an eviction: nothing was ever inserted.
+    assert target.stats().evictions == 0
+
+
+def test_load_entries_validates_payload_shape():
+    import pickle
+
+    store = StateStore()
+    bad_payloads = [
+        pickle.dumps({"a": _product_state(2)}),  # dict, not a list of pairs
+        pickle.dumps([("a", _product_state(2), "extra")]),  # 3-tuples
+        pickle.dumps([("a", "not a state")]),  # value is not an MPS
+        pickle.dumps([(7, _product_state(2))]),  # key is not a string
+        b"definitely not a pickle",
+    ]
+    for payload in bad_payloads:
+        with pytest.raises(EngineError):
+            store.load_entries(payload)
+        assert len(store) == 0  # never half-loaded
+
+
+def test_keys_and_entry_sizes_follow_lru_order():
+    store = StateStore()
+    store.put("a", _product_state(2))
+    store.put("b", _product_state(3))
+    assert store.keys() == ["a", "b"]
+    store.get("a")  # refresh: "a" becomes most recently used
+    assert store.keys() == ["b", "a"]
+    sizes = store.entry_sizes()
+    assert set(sizes) == {"a", "b"}
+    assert sizes["a"] == _product_state(2).memory_bytes
+    assert sum(sizes.values()) == store.bytes_in_use

@@ -31,6 +31,8 @@ counts), refresh the baselines and commit the diff::
     python benchmarks/bench_serving.py  --out BENCH_serving.json --queries 512 --train-size 96 --landmarks 32
     python benchmarks/bench_serving.py  --scenario persistence --out BENCH_persistence.json --queries 512 --train-size 96 --landmarks 32
     python benchmarks/bench_encoding.py --out BENCH_encoding.json
+    python benchmarks/bench_encoding.py --scenario fused --out BENCH_fused.json
+    python benchmarks/bench_serving.py  --scenario jitter --out BENCH_jitter.json --queries 160 --train-size 64 --landmarks 16 --unique 48
     python benchmarks/check_regression.py --update-baselines
 
 Run with:  python benchmarks/check_regression.py [--bench-dir .] [--update-baselines]
@@ -132,6 +134,34 @@ METRIC_RULES: dict[str, list[Metric]] = {
             "max",
             tolerance=ABS,
         ),
+    ],
+    "BENCH_fused.json": [
+        Metric("ok", "true"),
+        Metric("byte_identical", "true"),
+        # The tentpole contract: the fused schedule keeps every store write
+        # off the encode->overlap critical path, and both schedules see the
+        # same cold misses.  These are scheduling invariants, not timings.
+        Metric("records[mode=fused].critical_path_store_writes", "exact"),
+        Metric("records[mode=fused].cache_misses", "exact"),
+        Metric("records[mode=fused].speedup_vs_unfused", "ratio", tolerance=ABS),
+        # The prefix tree must keep sharing the mixed batch's common prefix:
+        # launch and fork counts are plan shape, so they must match exactly.
+        Metric("records[mode=tree].stacked_launches", "exact"),
+        Metric("records[mode=tree].prefix_forks", "exact"),
+        # The modelled dispatch: the Nystrom-scale block must keep choosing
+        # the GPU, and every pair of it must actually run there.
+        Metric("records[mode=cross-dispatch].chosen", "exact"),
+        Metric("records[mode=cross-dispatch].pairs", "exact"),
+        Metric("records[mode=cross-dispatch].gpu_inner_products", "exact"),
+    ],
+    "BENCH_jitter.json": [
+        Metric("ok", "true"),
+        # Jitter may only move flush instants, never decisions.
+        Metric("byte_identical", "true"),
+        # Lockstep fractions are wall-clock-phase measurements on a live
+        # scheduler, so they get no tighter gate than the producing script's
+        # own byte-identicality contract; the committed baseline documents
+        # the expected decorrelation instead.
     ],
 }
 

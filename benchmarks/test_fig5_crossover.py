@@ -122,6 +122,42 @@ def test_fig5_gpu_wins_beyond_the_crossover_bond_dimension():
     )
 
 
+def test_fig5_nystroem_cross_sweep_crossover(crossover_data):
+    """Extend the crossover study to the Nystrom ``K_nm`` block sweep.
+
+    The engine dispatches the stacked cross sweep by comparing
+    ``batched_inner_product_time`` across devices.  Using the bond
+    dimensions actually measured in the sweep: the GPU/CPU ratio of the
+    modelled *block* time falls monotonically as d grows (the same
+    mechanism as the per-pair Fig. 5 ratio), and because the stack
+    amortises the GPU's launch overhead, the block crossover arrives at a
+    smaller chi than the per-pair one.
+    """
+    from repro.backends import CPU_COST_MODEL, GPU_COST_MODEL, preferred_cross_model
+
+    n_rows, n_cols = 256, 64  # a Nystrom-fit-scale K_nm block
+    pairs = n_rows * n_cols
+    ratios = []
+    for row in crossover_data:
+        chi = int(round(row["avg_chi_cpu"]))
+        gpu_t = GPU_COST_MODEL.batched_inner_product_time(pairs, RESOURCE_QUBITS, chi)
+        cpu_t = CPU_COST_MODEL.batched_inner_product_time(pairs, RESOURCE_QUBITS, chi)
+        ratios.append(gpu_t / cpu_t)
+    assert all(np.diff(ratios) < 0)
+    # At the largest swept distance the stacked sweep already favours the
+    # GPU -- the modelled dispatch the engine's cross_backend performs.
+    largest_chi = int(round(crossover_data[-1]["avg_chi_cpu"]))
+    assert (
+        preferred_cross_model(pairs, RESOURCE_QUBITS, largest_chi) is GPU_COST_MODEL
+    )
+    # ... while per-pair dispatch at the same chi still favours the CPU:
+    # batching moves the crossover, which is why it must be modelled on the
+    # stacked entries rather than the per-pair ones.
+    assert GPU_COST_MODEL.inner_product_time(
+        RESOURCE_QUBITS, largest_chi
+    ) > CPU_COST_MODEL.inner_product_time(RESOURCE_QUBITS, largest_chi)
+
+
 def test_table1_bond_dimension_backend_agreement_and_memory(crossover_data):
     """Table I: both backends report identical bond dimensions, and both chi
     and the per-MPS memory grow with the interaction distance."""

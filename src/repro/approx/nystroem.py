@@ -24,7 +24,12 @@ All engine work is declared through the existing pairwise plans -- a
 a :class:`~repro.engine.plan.KernelRowPlan` per streaming transform -- so the
 landmark states are encoded once into the engine's
 :class:`~repro.engine.StateStore` and every executor (sequential, tiled,
-multiprocess tiles) applies unchanged.
+multiprocess tiles) applies unchanged.  With the sequential executor the
+``K_nm`` block runs as **one stacked block sweep**
+(``EngineConfig.cross_block_sweep``), and an engine built with a
+``cross_backend`` dispatches that sweep to whichever device's cost model
+predicts the cheaper stacked einsum -- the Fig. 5 crossover decision applied
+to the Nystrom fit, modelled rather than hardcoded.
 """
 
 from __future__ import annotations
@@ -275,6 +280,9 @@ class NystroemFeatureMap:
         # against this block with zero per-pair stacking.
         self.landmark_block_ = StackedStateBlock(states)
 
+        # One stacked block sweep under the sequential executor (and the
+        # modelled CPU/GPU dispatch point when the engine has a
+        # cross_backend); tiled / multiprocess keep their job streams.
         cross_result = self.engine.cross(X, self.landmark_states_)
         self.report.absorb(cross_result)
         K_nm = cross_result.matrix

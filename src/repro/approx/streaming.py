@@ -19,7 +19,12 @@ full circuit simulation *per point* inside the flush.  The engine now encodes
 a flushed batch's cache misses through one stacked gate sweep
 (:meth:`repro.backends.Backend.simulate_batch`), so the per-point hot path of
 a cold flush is gone while every prediction stays byte-identical to
-point-at-a-time classification.
+point-at-a-time classification.  With ``EngineConfig.fused_pipeline`` (the
+default) a cold flush is moreover **one fused pipeline**
+(:class:`~repro.engine.plan.FusedEncodeOverlapPlan`): the freshly encoded
+states flow straight from the stacked sweep into the landmark block overlap,
+and the state store is written only after the kernel rows exist -- same
+writes, same hit/miss accounting, off the critical path.
 """
 
 from __future__ import annotations

@@ -24,7 +24,12 @@ from .base import (
     BatchSimulationResult,
     InnerProductResult,
 )
-from .cost_model import DeviceCostModel, CPU_COST_MODEL, GPU_COST_MODEL
+from .cost_model import (
+    DeviceCostModel,
+    CPU_COST_MODEL,
+    GPU_COST_MODEL,
+    preferred_cross_model,
+)
 from .cpu import CpuBackend
 from .gpu import SimulatedGpuBackend
 from .registry import available_backends, get_backend
@@ -38,6 +43,7 @@ __all__ = [
     "DeviceCostModel",
     "CPU_COST_MODEL",
     "GPU_COST_MODEL",
+    "preferred_cross_model",
     "CpuBackend",
     "SimulatedGpuBackend",
     "available_backends",

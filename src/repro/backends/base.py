@@ -163,9 +163,15 @@ class Backend(abc.ABC):
         if cost_model is None:
             raise BackendError("a backend requires a DeviceCostModel")
         self.cost_model = cost_model
-        #: Accumulated modelled device seconds, split by primitive.
+        #: Accumulated modelled device seconds, split by primitive.  The
+        #: per-point counters advance as if every primitive had run solo (the
+        #: batching-invariant contract); the ``batched`` counters charge each
+        #: *stacked* launch once, so their gap is the modelled win of the
+        #: fused / batched paths on this device.
         self.modelled_simulation_time_s = 0.0
         self.modelled_inner_product_time_s = 0.0
+        self.modelled_batched_simulation_time_s = 0.0
+        self.modelled_batched_inner_product_time_s = 0.0
         #: Accumulated measured wall-clock seconds.
         self.wall_simulation_time_s = 0.0
         self.wall_inner_product_time_s = 0.0
@@ -225,6 +231,8 @@ class Backend(abc.ABC):
         wall = time.perf_counter() - start
 
         self.modelled_simulation_time_s += modelled
+        # A solo simulation is its own launch sequence: stacked == per-point.
+        self.modelled_batched_simulation_time_s += modelled
         self.wall_simulation_time_s += wall
         self.num_simulations += 1
 
@@ -239,7 +247,10 @@ class Backend(abc.ABC):
         )
 
     def simulate_batch(
-        self, circuits: Sequence, initial_state: MPS | None = None
+        self,
+        circuits: Sequence,
+        initial_state: MPS | None = None,
+        prefix_sharing: bool = True,
     ) -> BatchSimulationResult:
         """Encode a micro-batch of routed circuits through stacked gate sweeps.
 
@@ -256,6 +267,13 @@ class Backend(abc.ABC):
         measured wall time is where batching pays off.  The stacked device
         model (one launch per stacked contraction) is additionally reported
         as ``modelled_batched_time_s``.
+
+        ``prefix_sharing`` (default on) lets circuits of *different*
+        structures share the stacked sweep of their common gate prefix,
+        forking at the divergence point (:func:`repro.mps.encoding.
+        encode_circuits`); states, per-point modelled seconds and
+        ``num_simulations`` are identical either way, only the wall time and
+        the stacked device model improve for mixed batches.
 
         ``initial_state`` is not supported (the stacked sweep always starts
         from ``|0...0>``, which is what every feature-map encode uses); a
@@ -299,7 +317,12 @@ class Backend(abc.ABC):
 
         log = GateShapeLog()
         start = time.perf_counter()
-        states = encode_circuits(circuits, policy=self._policy(), log=log)
+        states = encode_circuits(
+            circuits,
+            policy=self._policy(),
+            log=log,
+            prefix_sharing=prefix_sharing,
+        )
         wall = time.perf_counter() - start
 
         modelled = 0.0
@@ -323,6 +346,7 @@ class Backend(abc.ABC):
                 )
 
         self.modelled_simulation_time_s += modelled
+        self.modelled_batched_simulation_time_s += modelled_batched
         self.wall_simulation_time_s += wall
         self.num_simulations += len(circuits)
         num_groups = log.structure_groups
@@ -346,6 +370,7 @@ class Backend(abc.ABC):
         wall = time.perf_counter() - start
 
         self.modelled_inner_product_time_s += modelled
+        self.modelled_batched_inner_product_time_s += modelled
         self.wall_inner_product_time_s += wall
         self.num_inner_products += 1
         return InnerProductResult(
@@ -373,15 +398,24 @@ class Backend(abc.ABC):
         """
         modelled = 0.0
         max_chi = 1
+        shape_counts: dict[Tuple[int, int], int] = {}
         for bra, ket in pairs:
             chi = max(bra.max_bond_dimension, ket.max_bond_dimension)
             max_chi = max(max_chi, chi)
             modelled += self.cost_model.inner_product_time(bra.num_qubits, chi)
+            key = (bra.num_qubits, chi)
+            shape_counts[key] = shape_counts.get(key, 0) + 1
+        # Stacked model: same-(qubits, chi) pairs share one sweep's launches.
+        modelled_batched = sum(
+            self.cost_model.batched_inner_product_time(count, nq, chi)
+            for (nq, chi), count in shape_counts.items()
+        )
         start = time.perf_counter()
         values = batched_overlaps(pairs, min_group_size=1)
         wall = time.perf_counter() - start
 
         self.modelled_inner_product_time_s += modelled
+        self.modelled_batched_inner_product_time_s += modelled_batched
         self.wall_inner_product_time_s += wall
         self.num_inner_products += len(pairs)
         return BatchInnerProductResult(
@@ -406,6 +440,7 @@ class Backend(abc.ABC):
         """
         num_pairs = len(bras) * block.num_states
         modelled = 0.0
+        modelled_batched = 0.0
         max_chi = 1
         if bras:
             # The cost model is a pure function of (qubits, chi); summing per
@@ -420,12 +455,21 @@ class Backend(abc.ABC):
                     for chi, count in zip(unique_chis, counts)
                 )
             )
+            modelled_batched = float(
+                sum(
+                    self.cost_model.batched_inner_product_time(
+                        int(count), block.num_qubits, int(chi)
+                    )
+                    for chi, count in zip(unique_chis, counts)
+                )
+            )
             max_chi = int(unique_chis.max())
         start = time.perf_counter()
         values = block.overlaps(bras)
         wall = time.perf_counter() - start
 
         self.modelled_inner_product_time_s += modelled
+        self.modelled_batched_inner_product_time_s += modelled_batched
         self.wall_inner_product_time_s += wall
         self.num_inner_products += num_pairs
         return BatchInnerProductResult(
@@ -441,6 +485,8 @@ class Backend(abc.ABC):
         """Zero the accumulated timing counters."""
         self.modelled_simulation_time_s = 0.0
         self.modelled_inner_product_time_s = 0.0
+        self.modelled_batched_simulation_time_s = 0.0
+        self.modelled_batched_inner_product_time_s = 0.0
         self.wall_simulation_time_s = 0.0
         self.wall_inner_product_time_s = 0.0
         self.num_simulations = 0
@@ -454,6 +500,12 @@ class Backend(abc.ABC):
             "num_inner_products": self.num_inner_products,
             "modelled_simulation_time_s": self.modelled_simulation_time_s,
             "modelled_inner_product_time_s": self.modelled_inner_product_time_s,
+            "modelled_batched_simulation_time_s": (
+                self.modelled_batched_simulation_time_s
+            ),
+            "modelled_batched_inner_product_time_s": (
+                self.modelled_batched_inner_product_time_s
+            ),
             "wall_simulation_time_s": self.wall_simulation_time_s,
             "wall_inner_product_time_s": self.wall_inner_product_time_s,
         }

@@ -31,9 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
 from ..exceptions import ConfigurationError
 
-__all__ = ["DeviceCostModel", "CPU_COST_MODEL", "GPU_COST_MODEL"]
+__all__ = [
+    "DeviceCostModel",
+    "CPU_COST_MODEL",
+    "GPU_COST_MODEL",
+    "preferred_cross_model",
+]
 
 
 @dataclass(frozen=True)
@@ -186,6 +193,42 @@ class DeviceCostModel:
             + flops / (self.contraction_gflops * 1e9)
         )
 
+    @staticmethod
+    def batched_inner_product_flops(batch: int, num_qubits: int, chi: int) -> float:
+        """Arithmetic of ``batch`` same-shape overlaps: flops scale, shapes don't."""
+        return batch * DeviceCostModel.inner_product_flops(num_qubits, chi)
+
+    def batched_inner_product_time(
+        self, batch: int, num_qubits: int, chi: int
+    ) -> float:
+        """Modelled seconds for one *stacked* overlap sweep of ``batch`` pairs.
+
+        The block sweep (:meth:`repro.backends.Backend.inner_product_block`)
+        contracts all pairs sharing a shape in one einsum per site, so the
+        per-site launch/transfer overhead is charged once per stack instead of
+        once per pair, while the arithmetic still scales with the batch.  At
+        ``batch == 1`` this equals :meth:`inner_product_time` exactly.  This
+        is the entry that keeps the fused serving path's accounting honest and
+        the entry the engine's CPU/GPU cross-sweep dispatch compares.
+        """
+        flops = self.batched_inner_product_flops(batch, num_qubits, chi)
+        return (
+            (self.gate_overhead_s + self.transfer_overhead_s) * num_qubits
+            + flops / (self.contraction_gflops * 1e9)
+        )
+
+    def cross_sweep_time(
+        self, num_rows: int, num_cols: int, num_qubits: int, chi: int
+    ) -> float:
+        """Modelled seconds for one stacked ``rows x cols`` cross-Gram block.
+
+        The Nystrom ``K_nm`` block evaluates every (query, landmark) pair in
+        one block sweep, so it is a batched inner product with
+        ``rows * cols`` members -- the quantity the extended Fig. 5 crossover
+        study plots per device.
+        """
+        return self.batched_inner_product_time(num_rows * num_cols, num_qubits, chi)
+
 
 #: CPU model: negligible launch overhead, moderate sustained throughput.
 #: Calibrated against a single AMD EPYC 7763 core running optimised BLAS.
@@ -211,3 +254,26 @@ GPU_COST_MODEL = DeviceCostModel(
     svd_gflops=45.0,
     transfer_overhead_s=5.0e-5,
 )
+
+
+def preferred_cross_model(
+    num_pairs: int,
+    num_qubits: int,
+    chi: int,
+    models: Sequence[DeviceCostModel] = (CPU_COST_MODEL, GPU_COST_MODEL),
+) -> DeviceCostModel:
+    """The device whose model predicts the cheapest stacked cross sweep.
+
+    This is the Fig. 5 crossover decision applied to the Nystrom ``K_nm``
+    block: at small ``chi`` the CPU wins (the GPU's per-site launch overhead
+    dwarfs the tiny contractions); once ``batch * chi^3`` arithmetic dominates
+    the GPU's throughput advantage takes over.  Ties go to the earlier model
+    in ``models`` (the CPU by default), matching ``min`` semantics, so the
+    dispatch is deterministic.
+    """
+    if not models:
+        raise ConfigurationError("preferred_cross_model needs at least one model")
+    return min(
+        models,
+        key=lambda m: m.batched_inner_product_time(num_pairs, num_qubits, chi),
+    )

@@ -15,6 +15,16 @@ stacked contraction instead of once per point, which is exactly the regime
 (small ``chi``, overhead-dominated) where the paper's Fig. 5 shows the GPU
 losing to the CPU -- the batched cost-model entries let the crossover study
 quantify how much stacking recovers.
+
+The same logic routes the Nystrom ``K_nm`` cross block here: a
+:class:`~repro.engine.KernelEngine` constructed with ``cross_backend=
+SimulatedGpuBackend(...)`` compares
+:meth:`DeviceCostModel.batched_inner_product_time` across its two devices and
+dispatches the stacked cross sweep (:meth:`~repro.backends.Backend.
+inner_product_block`, one batched einsum per site) to whichever model
+predicts the cheaper block -- the modelled, not hardcoded, CPU/GPU crossover
+decision of the extended Fig. 5 study.  Numerics are NumPy either way, so
+the dispatch never moves a bit of any kernel entry.
 """
 
 from __future__ import annotations

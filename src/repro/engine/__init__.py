@@ -23,6 +23,7 @@ from .batching import (
     GateShapeLog,
     StackedStateBlock,
     batched_overlaps,
+    circuit_prefix_tokens,
     circuit_structure_signature,
     encode_circuits,
     group_circuits_by_structure,
@@ -41,6 +42,7 @@ from .cache import (
 )
 from .plan import (
     CrossGramPlan,
+    FusedEncodeOverlapPlan,
     KernelRowPlan,
     PairJob,
     PairwisePlan,
@@ -54,6 +56,7 @@ __all__ = [
     "SymmetricGramPlan",
     "CrossGramPlan",
     "KernelRowPlan",
+    "FusedEncodeOverlapPlan",
     "CacheStats",
     "StateStore",
     "ansatz_fingerprint",
@@ -67,6 +70,7 @@ __all__ = [
     "StackedStateBlock",
     "GateShapeLog",
     "circuit_structure_signature",
+    "circuit_prefix_tokens",
     "encode_circuits",
     "group_circuits_by_structure",
     "rowwise_matmul",

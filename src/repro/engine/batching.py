@@ -28,6 +28,7 @@ from ..mps.batched import (
 )
 from ..mps.encoding import (
     GateShapeLog,
+    circuit_prefix_tokens,
     circuit_structure_signature,
     encode_circuits,
     group_circuits_by_structure,
@@ -39,6 +40,7 @@ __all__ = [
     "group_pairs_by_shape",
     "StackedStateBlock",
     "GateShapeLog",
+    "circuit_prefix_tokens",
     "circuit_structure_signature",
     "encode_circuits",
     "group_circuits_by_structure",

@@ -43,6 +43,7 @@ from .batching import StackedStateBlock
 from .cache import StateStore, ansatz_fingerprint, simulation_fingerprint, state_key
 from .plan import (
     CrossGramPlan,
+    FusedEncodeOverlapPlan,
     KernelRowPlan,
     PairJob,
     PairwisePlan,
@@ -83,6 +84,19 @@ class EngineConfig:
         debugging.
     encode_batch_size:
         Maximum circuits per stacked encoding sweep.
+    fused_pipeline:
+        Execute block-sweep kernel-row plans as one fused encode-to-overlap
+        pipeline (:class:`~repro.engine.plan.FusedEncodeOverlapPlan`): cold
+        states flow straight from the stacked encode into the block overlap
+        sweep, and the state store is written only after the kernel block
+        exists.  Values, counters and cache statistics are identical to the
+        unfused path; disabling only exists for benchmarks and debugging.
+    cross_block_sweep:
+        Evaluate sequential-executor cross plans (:meth:`KernelEngine.cross`)
+        through one pre-stacked block sweep
+        (:meth:`repro.backends.Backend.inner_product_block`) instead of
+        chunked pair batches -- bit-identical values, one batched einsum per
+        site.  The tiled and multiprocess executors keep their job streams.
     """
 
     executor: str = "sequential"
@@ -93,6 +107,8 @@ class EngineConfig:
     max_workers: Optional[int] = None
     batch_encoding: bool = True
     encode_batch_size: int = 32
+    fused_pipeline: bool = True
+    cross_block_sweep: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -122,6 +138,8 @@ class EngineResult:
     num_inner_products: int
     cache_hits: int = 0
     cache_misses: int = 0
+    modelled_batched_simulation_time_s: float = 0.0
+    modelled_batched_inner_product_time_s: float = 0.0
     states: Tuple[MPS, ...] = field(default=(), repr=False)
 
     @property
@@ -131,8 +149,29 @@ class EngineResult:
 
     @property
     def modelled_total_time_s(self) -> float:
-        """Modelled device total of both primitives."""
+        """Modelled device total, one launch per *point* (batching-invariant).
+
+        This is the historical per-point accounting: it never moves when a
+        workload is batched, fused or re-chunked, which is what lets tests
+        pin engine behaviour across execution paths.
+        """
         return self.modelled_simulation_time_s + self.modelled_inner_product_time_s
+
+    @property
+    def modelled_batched_total_time_s(self) -> float:
+        """Modelled device total under the *stacked* launch model.
+
+        Charges each stacked sweep's launch/transfer overhead once per stack
+        instead of once per point
+        (:meth:`repro.backends.DeviceCostModel.batched_inner_product_time`
+        and the ``batched_*_gate_time`` entries) -- the honest device
+        prediction for the fused encode-to-overlap pipeline, and the number
+        the extended Fig. 5 crossover study dispatches on.
+        """
+        return (
+            self.modelled_batched_simulation_time_s
+            + self.modelled_batched_inner_product_time_s
+        )
 
 
 class KernelEngine:
@@ -151,6 +190,15 @@ class KernelEngine:
     store:
         Externally owned :class:`StateStore`; overrides ``config.use_cache``
         so several engines (or a serving layer) can share one cache.
+    cross_backend:
+        Optional second backend (typically a
+        :class:`~repro.backends.SimulatedGpuBackend`) offered the stacked
+        cross sweep: before each block sweep of :meth:`cross`, the engine
+        compares ``cost_model.batched_inner_product_time`` across the two
+        devices and dispatches to whichever model predicts the cheaper block
+        -- the Fig. 5 crossover decision, modelled rather than hardcoded.
+        Both backends run identical NumPy numerics, so dispatch never
+        changes a kernel value; its accounting is merged into the result.
     """
 
     def __init__(
@@ -160,11 +208,13 @@ class KernelEngine:
         simulation: SimulationConfig | None = None,
         config: EngineConfig | None = None,
         store: StateStore | None = None,
+        cross_backend: Backend | None = None,
     ) -> None:
         self.ansatz = ansatz
         if backend is None:
             backend = CpuBackend(simulation)
         self.backend = backend
+        self.cross_backend = cross_backend
         self.config = config if config is not None else EngineConfig()
         if store is not None:
             self.store: StateStore | None = store
@@ -459,6 +509,12 @@ class KernelEngine:
         is bit-identical to the sequential cross plan.  Covers the Nystrom
         ``K_nm`` fit block and bulk test-versus-train scoring; the serving
         hot path (:meth:`kernel_rows`) stays in-process by design.
+
+        With the default sequential executor and ``config.cross_block_sweep``
+        the whole block runs as one stacked sweep
+        (:meth:`~repro.backends.Backend.inner_product_block`) -- bit-identical
+        values through one batched einsum per site -- dispatched to
+        ``cross_backend`` when its cost model predicts the cheaper block.
         """
         if self.config.executor == "multiprocess":
             return self._cross_multiprocess(X_rows, train_states)
@@ -496,10 +552,20 @@ class KernelEngine:
             )
         X_rows = self.validate_features(X_rows)
         self.backend.reset_counters()
+        if self.cross_backend is not None:
+            self.cross_backend.reset_counters()
         hits0, misses0 = self._cache_counts()
+        if serving and block is not None and self.config.fused_pipeline:
+            return self._execute_fused(X_rows, train_states, block, hits0, misses0)
         row_states = self.encode_rows(X_rows)
         if serving and block is not None:
             result = self.backend.inner_product_block(row_states, block)
+            K = np.abs(result.values) ** 2
+            return self._result_from_counters(K, row_states, hits0, misses0)
+        if not serving and self.config.cross_block_sweep:
+            sweep_block = StackedStateBlock(list(train_states))
+            sweep_backend = self._select_cross_backend(row_states, sweep_block)
+            result = sweep_backend.inner_product_block(row_states, sweep_block)
             K = np.abs(result.values) ** 2
             return self._result_from_counters(K, row_states, hits0, misses0)
         if serving:
@@ -510,6 +576,105 @@ class KernelEngine:
             plan = CrossGramPlan(len(row_states), len(train_states))
         K = self.execute_plan(plan, row_states, train_states)
         return self._result_from_counters(K, row_states, hits0, misses0)
+
+    def _execute_fused(
+        self,
+        X_rows: np.ndarray,
+        train_states: Sequence[MPS],
+        block: StackedStateBlock,
+        hits0: int,
+        misses0: int,
+    ) -> EngineResult:
+        """Run a kernel-row block as one fused encode-to-overlap pipeline.
+
+        Executes a :class:`~repro.engine.plan.FusedEncodeOverlapPlan`: store
+        hits are resolved up front, the remaining cold rows are encoded in
+        stacked sweeps and their states flow **directly** into the block
+        overlap sweep; only after the kernel block exists are the fresh
+        states written back to the store (and intra-batch duplicates
+        re-resolved from it).  Every store operation of the unfused path
+        still happens -- same hit/miss deltas, same occupancy -- it is just
+        scheduled off the critical path, which is what the fused benchmark
+        scenario measures.
+        """
+        n = X_rows.shape[0]
+        plan = FusedEncodeOverlapPlan(len(train_states), num_rows=n)
+        states: List[MPS | None] = [None] * n
+        pending: List[int] = []
+        deferred: List[int] = []
+        keys: List[str] = []
+        if self.store is not None:
+            pending_keys = set()
+            keys = [
+                state_key(row, self._ansatz_fp, self._simulation_fp) for row in X_rows
+            ]
+            for i in range(n):
+                if keys[i] in pending_keys:
+                    deferred.append(i)
+                    continue
+                cached = self.store.get(keys[i])
+                if cached is not None:
+                    states[i] = cached
+                else:
+                    pending.append(i)
+                    pending_keys.add(keys[i])
+        else:
+            pending = list(range(n))
+        # Critical path: stacked encode of the misses feeding straight into
+        # the block sweep.  No store traffic between the two.
+        if pending:
+            if self.config.batch_encoding and len(pending) > 1:
+                self._encode_batched(X_rows, pending, states)
+            else:
+                for i in pending:
+                    states[i] = self.simulate_row(X_rows[i]).state
+        first_slot = {}
+        for i in pending:
+            first_slot.setdefault(keys[i] if keys else i, i)
+        for i in deferred:
+            states[i] = states[first_slot[keys[i]]]
+        row_states = [s for s in states if s is not None]
+        result = self.backend.inner_product_block(row_states, block)
+        K = plan.initial_matrix()
+        K[...] = np.abs(result.values) ** 2
+        # Off the critical path: the same store writes and duplicate
+        # re-resolutions the unfused path performs, in the same
+        # (put-misses, then re-get duplicates) order.
+        if self.store is not None:
+            for i in pending:
+                state = states[i]
+                if state is not None:
+                    self.store.put(keys[i], state)
+            for i in deferred:
+                cached = self.store.get(keys[i])
+                if cached is not None:
+                    states[i] = cached
+        return self._result_from_counters(K, row_states, hits0, misses0)
+
+    def _select_cross_backend(
+        self, row_states: Sequence[MPS], block: StackedStateBlock
+    ) -> Backend:
+        """Pick the backend whose cost model predicts the cheaper block sweep.
+
+        The Fig. 5 crossover decision, applied to the Nystrom / cross sweep:
+        both candidates run identical NumPy numerics, so this only moves
+        *where* the stacked einsum is charged, never what it returns.  With
+        no ``cross_backend`` configured the primary backend always wins.
+        """
+        if self.cross_backend is None:
+            return self.backend
+        num_pairs = len(row_states) * block.num_states
+        chi = max(
+            max((s.max_bond_dimension for s in row_states), default=1),
+            int(block.max_bond_dimensions.max()) if block.num_states else 1,
+        )
+        primary = self.backend.cost_model.batched_inner_product_time(
+            num_pairs, block.num_qubits, chi
+        )
+        candidate = self.cross_backend.cost_model.batched_inner_product_time(
+            num_pairs, block.num_qubits, chi
+        )
+        return self.cross_backend if candidate < primary else self.backend
 
     def gram_and_cross(
         self, X_train: np.ndarray, X_test: np.ndarray
@@ -545,7 +710,14 @@ class KernelEngine:
         hits0: int,
         misses0: int,
     ) -> EngineResult:
-        summary = self.backend.timing_summary()
+        summary = dict(self.backend.timing_summary())
+        if self.cross_backend is not None:
+            # The cross backend was reset alongside the primary one, so its
+            # counters are zero unless the block sweep dispatched to it;
+            # merging keeps the result's accounting complete either way.
+            for key, value in self.cross_backend.timing_summary().items():
+                if isinstance(value, (int, float)):
+                    summary[key] = summary.get(key, 0) + value
         hits1, misses1 = self._cache_counts()
         return EngineResult(
             matrix=K,
@@ -559,6 +731,12 @@ class KernelEngine:
             num_inner_products=int(summary["num_inner_products"]),
             cache_hits=hits1 - hits0,
             cache_misses=misses1 - misses0,
+            modelled_batched_simulation_time_s=summary.get(
+                "modelled_batched_simulation_time_s", 0.0
+            ),
+            modelled_batched_inner_product_time_s=summary.get(
+                "modelled_batched_inner_product_time_s", 0.0
+            ),
             states=tuple(states),
         )
 
@@ -625,5 +803,13 @@ class KernelEngine:
             total_state_memory_bytes=int(stats["total_state_memory_bytes"]),
             num_simulations=int(stats["num_simulations"]),
             num_inner_products=int(stats["num_inner_products"]),
+            modelled_batched_simulation_time_s=stats.get(
+                "modelled_batched_simulation_time_s",
+                stats["modelled_simulation_time_s"],
+            ),
+            modelled_batched_inner_product_time_s=stats.get(
+                "modelled_batched_inner_product_time_s",
+                stats["modelled_inner_product_time_s"],
+            ),
             states=(),
         )

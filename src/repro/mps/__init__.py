@@ -40,6 +40,7 @@ from .batched import (
 )
 from .encoding import (
     GateShapeLog,
+    circuit_prefix_tokens,
     circuit_structure_signature,
     encode_circuits,
     group_circuits_by_structure,
@@ -49,6 +50,7 @@ from .instrumented import InstrumentedMPS, MemoryTrace, MemorySample
 __all__ = [
     "MPS",
     "GateShapeLog",
+    "circuit_prefix_tokens",
     "circuit_structure_signature",
     "encode_circuits",
     "group_circuits_by_structure",

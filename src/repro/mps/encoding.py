@@ -1,4 +1,4 @@
-"""Batched circuit encoding: stacked gate sweeps over same-structure circuits.
+"""Batched circuit encoding: stacked gate sweeps with prefix sharing.
 
 Encoding a data point -- simulating its feature-map circuit into an MPS -- is
 the last per-point hot path in the serving story: overlaps are batched
@@ -10,27 +10,43 @@ same sweep over a stack of tensors:
 
 * circuits are grouped by :func:`circuit_structure_signature` (mirroring the
   ``pair_shape_signature`` grouping of the overlap path);
-* within a structure group every state starts as the same stacked
-  ``|0...0>`` block and each gate is applied to the whole stack at once --
-  single- and two-qubit contractions are broadcast ``matmul`` gufuncs, QR
-  center moves and the post-gate SVD use NumPy's stacked LAPACK gufuncs;
+* within a group every state starts as the same stacked ``|0...0>`` block and
+  each gate is applied to the whole stack at once -- single- and two-qubit
+  contractions are broadcast ``matmul`` gufuncs, QR center moves and the
+  post-gate SVD use NumPy's stacked LAPACK gufuncs;
 * truncation is decided **per slice** (each member's singular values go
   through the same :meth:`TruncationPolicy.select_rank` a solo simulation
   would run), so members whose kept ranks diverge are split into new shape
   groups and the sweep continues per group.
 
+Prefix-sharing encode tree
+--------------------------
+Mixed-ansatz micro-batches used to fragment into one sweep per distinct
+structure, collapsing the batching win exactly when workloads diversify.
+With ``prefix_sharing`` (the default) the sweep is instead a *tree* walk:
+circuits of the same width start in one stacked root, advance together for as
+long as their next gate targets the same qubits -- the shared gate prefix,
+e.g. the common trunk of two routing variants or of depth-1 and depth-2
+ansatz families -- and **fork** at the first divergence point, each branch
+continuing as its own (smaller) stacked sweep.  Per-slice truncation and the
+bond-dimension regrouping work unchanged inside every branch.  Same-structure
+circuits never fork, so the tree degrades gracefully to the per-signature
+grouping; ``prefix_sharing=False`` forces that grouping for benchmarks.
+
 Bit-identicality contract
 -------------------------
 Every per-slice operation of the stacked sweep is the *same gufunc* the
 per-point path in :mod:`repro.mps.tensor_ops` issues (``matmul`` broadcast,
-stacked ``np.linalg.qr`` / ``np.linalg.svd`` inner loops, per-slice
-``scipy.linalg.rq`` and ``select_rank`` calls), and NumPy evaluates gufunc
-slices independently of how many ride in one call.  The resulting site
-tensors are therefore **bit-identical** to per-point
+stacked ``np.linalg.qr`` via :func:`~repro.mps.tensor_ops.stacked_qr_right` /
+:func:`~repro.mps.tensor_ops.stacked_rq_left`, stacked ``np.linalg.svd``
+inner loops, per-slice ``select_rank`` calls), and NumPy evaluates gufunc
+slices independently of how many ride in one call.  Forking only *selects*
+slices out of a stack (a value-preserving copy), so the resulting site
+tensors are **bit-identical** to per-point
 :meth:`repro.mps.MPS.apply_circuit` simulation -- however the batch was
-composed -- which is the invariant the encoding property suite pins down and
-the serving layer's byte-identical-predictions contract extends to cold
-traffic.
+composed, permuted, partitioned, or prefix-shared -- which is the invariant
+the encoding property suites pin down and the serving layer's
+byte-identical-predictions contract extends to cold traffic.
 
 The module lives in the :mod:`repro.mps` layer (it depends only on the MPS
 machinery and NumPy); :mod:`repro.backends` wraps it with device cost-model
@@ -41,17 +57,18 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from .mps import MPS
-from .tensor_ops import robust_svd
+from .tensor_ops import robust_svd, stacked_qr_right, stacked_rq_left
 from .truncation import TruncationPolicy, TruncationRecord
 
 __all__ = [
     "circuit_structure_signature",
+    "circuit_prefix_tokens",
     "group_circuits_by_structure",
     "GateShapeLog",
     "encode_circuits",
@@ -68,6 +85,18 @@ def circuit_structure_signature(circuit) -> Tuple:
     construction.
     """
     return (circuit.num_qubits, tuple(op.qubits for op in circuit.operations))
+
+
+def circuit_prefix_tokens(circuit) -> Tuple[Tuple[int, ...], ...]:
+    """Per-gate target tokens, the comparison unit of the prefix tree.
+
+    Two same-width circuits share the stacked sweep of ops ``0..k`` exactly
+    when their first ``k + 1`` tokens agree; the gate *matrices* are free to
+    differ (they are stacked per member anyway), which is what lets e.g. an
+    RZ-layer circuit and an RX-layer circuit on the same qubit schedule share
+    their whole sweep.
+    """
+    return tuple(op.qubits for op in circuit.operations)
 
 
 def group_circuits_by_structure(circuits: Sequence) -> Dict[Tuple, List[int]]:
@@ -88,11 +117,14 @@ class GateShapeLog:
     Backends turn the log into modelled device seconds without the encoding
     layer depending on :mod:`repro.backends`.  ``structure_groups`` records
     how many distinct circuit structures the batch contained (filled by
-    :func:`encode_circuits`, saving consumers a re-grouping pass).
+    :func:`encode_circuits`, saving consumers a re-grouping pass);
+    ``prefix_forks`` counts the divergence points of the prefix tree --
+    zero means every member rode one sweep end to end.
     """
 
     entries: List[Tuple] = field(default_factory=list)
     structure_groups: int = 0
+    prefix_forks: int = 0
 
     def add_single(self, count: int, chi_l: int, chi_r: int) -> None:
         self.entries.append(("1q", count, chi_l, chi_r))
@@ -100,14 +132,19 @@ class GateShapeLog:
     def add_two(self, count: int, chi_l: int, chi_m: int, chi_r: int) -> None:
         self.entries.append(("2q", count, chi_l, chi_m, chi_r))
 
+    @property
+    def stacked_launches(self) -> int:
+        """Number of stacked gate applications issued (fewer = more sharing)."""
+        return len(self.entries)
+
 
 class _ChainBlock:
-    """One shape group of a structure batch: all site tensors stacked.
+    """One shape group of a stacked sweep: all site tensors stacked.
 
     ``stacks[site]`` has shape ``(g, l, 2, r)`` -- the ``g`` members' site
     tensors share every bond dimension, so each gate is one gufunc call.
-    ``members`` maps stack slots back to positions in the caller's circuit
-    list.
+    ``members`` maps stack slots to the member ids (indices into the caller's
+    circuit list) riding in them.
     """
 
     __slots__ = ("members", "stacks")
@@ -138,173 +175,252 @@ def _stacked_svd(mats: np.ndarray):
         return np.stack(us), np.stack(ss), np.stack(vhs)
 
 
-def _sweep_structure_group(
-    circuits: Sequence,
-    member_indices: Sequence[int],
+def _slice_blocks(blocks: List[_ChainBlock], keep: frozenset) -> List[_ChainBlock]:
+    """Restrict shape blocks to the ``keep`` members (a tree fork).
+
+    Selection is plain advanced indexing: each surviving slice is a
+    value-preserving copy of the member's site stack, so a branch's tensors
+    after a fork are bit-identical to what an unshared sweep of just those
+    members would hold at the same op index.
+    """
+    out: List[_ChainBlock] = []
+    for block in blocks:
+        sel = [i for i, m in enumerate(block.members) if m in keep]
+        if not sel:
+            continue
+        if len(sel) == len(block.members):
+            out.append(block)
+            continue
+        arr = np.asarray(sel, dtype=int)
+        out.append(
+            _ChainBlock(
+                [block.members[i] for i in sel], [st[arr] for st in block.stacks]
+            )
+        )
+    return out
+
+
+def _apply_single(
+    blocks: List[_ChainBlock], q: int, gate_for: Dict[int, np.ndarray], log: GateShapeLog
+) -> None:
+    """Apply one single-qubit gate (per-member matrices) to every block."""
+    for block in blocks:
+        stack = block.stacks[q]
+        g, chi_l, _p, chi_r = stack.shape
+        log.add_single(g, chi_l, chi_r)
+        gates = np.stack([gate_for[m] for m in block.members])
+        # Same broadcast matmul as tensor_ops.apply_single_qubit_gate,
+        # with (batch, left-bond) as the gufunc loop axes.
+        block.stacks[q] = np.matmul(gates[:, None, :, :], stack)
+
+
+def _move_center(blocks: List[_ChainBlock], center: int, q: int) -> int:
+    """Move the shared orthogonality centre of every block onto site ``q``.
+
+    The same QR / QR-of-adjoint steps ``MPS._move_center`` performs per
+    point, issued as the stacked gufuncs of :mod:`repro.mps.tensor_ops`.
+    """
+    while center < q:
+        i = center
+        for block in blocks:
+            qs, rs = stacked_qr_right(block.stacks[i])
+            kdim = qs.shape[3]
+            block.stacks[i] = qs
+            nxt = block.stacks[i + 1]
+            g2, nl, nphys, nr = nxt.shape
+            block.stacks[i + 1] = np.matmul(
+                rs, nxt.reshape(g2, nl, nphys * nr)
+            ).reshape(g2, kdim, nphys, nr)
+        center = i + 1
+    while center > q:
+        i = center
+        for block in blocks:
+            rs, qs = stacked_rq_left(block.stacks[i])
+            kdim = qs.shape[1]
+            block.stacks[i] = qs
+            prv = block.stacks[i - 1]
+            g2, pl, pphys, pr = prv.shape
+            block.stacks[i - 1] = np.matmul(
+                prv.reshape(g2, pl * pphys, pr), rs
+            ).reshape(g2, pl, pphys, kdim)
+        center = i - 1
+    return center
+
+
+def _apply_two(
+    blocks: List[_ChainBlock],
+    q: int,
+    gate_for: Dict[int, np.ndarray],
     policy: TruncationPolicy,
     log: GateShapeLog,
-) -> List[Tuple[int, MPS]]:
-    """Simulate one structure group of circuits through a stacked sweep.
+    discarded: Dict[int, float],
+    records: Dict[int, List[TruncationRecord]],
+) -> List[_ChainBlock]:
+    """Apply one adjacent two-qubit gate: merge + gate + SVD + regroup."""
+    new_blocks: List[_ChainBlock] = []
+    for block in blocks:
+        left_stack = block.stacks[q]
+        right_stack = block.stacks[q + 1]
+        g, chi_l, _p, chi_m = left_stack.shape
+        chi_r = right_stack.shape[3]
+        log.add_two(g, chi_l, chi_m, chi_r)
+        gates = np.stack([gate_for[m] for m in block.members])
 
-    Returns ``(original_index, state)`` pairs.  See the module docstring for
-    the bit-identicality contract.
-    """
-    template = circuits[member_indices[0]]
-    num_qubits = template.num_qubits
-    batch = len(member_indices)
-    ops_per_member = [list(circuits[m]) for m in member_indices]
-    num_ops = len(ops_per_member[0])
+        # merge_sites + apply_two_qubit_gate_to_theta + split_theta, each
+        # as the stacked form of the identical gufunc.
+        theta = np.matmul(
+            left_stack.reshape(g, chi_l * 2, chi_m),
+            right_stack.reshape(g, chi_m, 2 * chi_r),
+        )
+        theta = np.matmul(gates[:, None, :, :], theta.reshape(g, chi_l, 4, chi_r))
+        u, s, vh = _stacked_svd(theta.reshape(g, chi_l * 2, 2 * chi_r))
 
-    # The stacked |0...0> start: every site needs its own stack array
-    # because sites are updated independently during the sweep.
-    zero = np.zeros((batch, 1, 2, 1), dtype=np.complex128)
-    zero[:, 0, 0, 0] = 1.0
-    blocks = [
-        _ChainBlock(list(range(batch)), [zero.copy() for _ in range(num_qubits)])
-    ]
-    center = 0
-
-    # Per-member truncation accounting, mirroring the per-point MPS fields.
-    discarded = [0.0] * batch
-    records: List[List[TruncationRecord]] = [[] for _ in range(batch)]
-    gates_applied = 0
-    two_qubit_gates = 0
-
-    for k in range(num_ops):
-        op = ops_per_member[0][k]
-        qubits = op.qubits
-        mats = [ops_per_member[slot][k].matrix() for slot in range(batch)]
-        if len(qubits) == 1:
-            q = qubits[0]
-            for block in blocks:
-                stack = block.stacks[q]
-                g, chi_l, _p, chi_r = stack.shape
-                log.add_single(g, chi_l, chi_r)
-                gates = np.stack([mats[slot] for slot in block.members])
-                # Same broadcast matmul as tensor_ops.apply_single_qubit_gate,
-                # with (batch, left-bond) as the gufunc loop axes.
-                block.stacks[q] = np.matmul(gates[:, None, :, :], stack)
-            gates_applied += 1
-            continue
-
-        if len(qubits) != 2 or qubits[1] != qubits[0] + 1:
-            raise SimulationError(
-                "batched encoding requires a routed circuit "
-                f"(adjacent two-qubit gates); got targets {qubits}"
-            )
-        q = qubits[0]
-
-        # Move the shared orthogonality centre onto the left gate site with
-        # the same QR/RQ steps MPS._move_center performs per point.
-        while center < q:
-            i = center
-            for block in blocks:
-                stack = block.stacks[i]
-                g, chi_l, phys, chi_r = stack.shape
-                qs, rs = np.linalg.qr(stack.reshape(g, chi_l * phys, chi_r))
-                kdim = qs.shape[2]
-                block.stacks[i] = qs.reshape(g, chi_l, phys, kdim)
-                nxt = block.stacks[i + 1]
-                g2, nl, nphys, nr = nxt.shape
-                block.stacks[i + 1] = np.matmul(
-                    rs, nxt.reshape(g2, nl, nphys * nr)
-                ).reshape(g2, kdim, nphys, nr)
-            center = i + 1
-        while center > q:
-            i = center
-            for block in blocks:
-                stack = block.stacks[i]
-                g, chi_l, phys, chi_r = stack.shape
-                # Stacked form of tensor_ops.rq_left: QR of the adjoint, so
-                # the per-slice factors are the bits the per-point call makes.
-                site_mats = stack.reshape(g, chi_l, phys * chi_r)
-                q_adj, r_adj = np.linalg.qr(np.conj(site_mats).transpose(0, 2, 1))
-                kdim = q_adj.shape[2]
-                rs = np.ascontiguousarray(np.conj(r_adj).transpose(0, 2, 1))
-                block.stacks[i] = np.ascontiguousarray(
-                    np.conj(q_adj).transpose(0, 2, 1)
-                ).reshape(g, kdim, phys, chi_r)
-                prv = block.stacks[i - 1]
-                g2, pl, pphys, pr = prv.shape
-                block.stacks[i - 1] = np.matmul(
-                    prv.reshape(g2, pl * pphys, pr), rs
-                ).reshape(g2, pl, pphys, kdim)
-            center = i - 1
-
-        new_blocks: List[_ChainBlock] = []
-        for block in blocks:
-            left_stack = block.stacks[q]
-            right_stack = block.stacks[q + 1]
-            g, chi_l, _p, chi_m = left_stack.shape
-            chi_r = right_stack.shape[3]
-            log.add_two(g, chi_l, chi_m, chi_r)
-            gates = np.stack([mats[slot] for slot in block.members])
-
-            # merge_sites + apply_two_qubit_gate_to_theta + split_theta, each
-            # as the stacked form of the identical gufunc.
-            theta = np.matmul(
-                left_stack.reshape(g, chi_l * 2, chi_m),
-                right_stack.reshape(g, chi_m, 2 * chi_r),
-            )
-            theta = np.matmul(
-                gates[:, None, :, :], theta.reshape(g, chi_l, 4, chi_r)
-            )
-            u, s, vh = _stacked_svd(theta.reshape(g, chi_l * 2, 2 * chi_r))
-
-            # Per-slice truncation: each member keeps exactly the rank a solo
-            # simulation would, then members regroup by their new bond.
-            by_kept: Dict[int, List[int]] = defaultdict(list)
-            for slot in range(g):
-                kept, weight = policy.select_rank(s[slot])
-                member = block.members[slot]
-                discarded[member] += weight
-                records[member].append(
-                    TruncationRecord(
-                        kept=kept,
-                        discarded=int(s.shape[1]) - kept,
-                        discarded_weight=weight,
-                        bond_dimension_before=int(s.shape[1]),
-                        bond_dimension_after=kept,
-                    )
+        # Per-slice truncation: each member keeps exactly the rank a solo
+        # simulation would, then members regroup by their new bond.
+        by_kept: Dict[int, List[int]] = defaultdict(list)
+        for slot in range(g):
+            kept, weight = policy.select_rank(s[slot])
+            member = block.members[slot]
+            discarded[member] += weight
+            records[member].append(
+                TruncationRecord(
+                    kept=kept,
+                    discarded=int(s.shape[1]) - kept,
+                    discarded_weight=weight,
+                    bond_dimension_before=int(s.shape[1]),
+                    bond_dimension_after=kept,
                 )
-                by_kept[kept].append(slot)
+            )
+            by_kept[kept].append(slot)
 
-            for kept, slots in by_kept.items():
-                if len(slots) == g:
-                    sub_stacks = block.stacks
-                    u_sub, s_sub, vh_sub = u, s, vh
-                    sub_members = block.members
-                else:
-                    sel = np.asarray(slots, dtype=int)
-                    sub_stacks = [
-                        st if site in (q, q + 1) else st[sel]
-                        for site, st in enumerate(block.stacks)
-                    ]
-                    u_sub, s_sub, vh_sub = u[sel], s[sel], vh[sel]
-                    sub_members = [block.members[slot] for slot in slots]
-                g2 = len(sub_members)
-                sub_stacks[q] = u_sub[:, :, :kept].reshape(g2, chi_l, 2, kept)
-                # Same elementwise absorption of the singular values into the
-                # right factor as the per-point path (s[:, None, None] * vh).
-                sub_stacks[q + 1] = (
-                    s_sub[:, :kept, None] * vh_sub[:, :kept, :]
-                ).reshape(g2, kept, 2, chi_r)
-                new_blocks.append(_ChainBlock(sub_members, sub_stacks))
-        blocks = new_blocks
-        center = q + 1
-        gates_applied += 1
-        two_qubit_gates += 1
+        for kept, slots in by_kept.items():
+            if len(slots) == g:
+                sub_stacks = block.stacks
+                u_sub, s_sub, vh_sub = u, s, vh
+                sub_members = block.members
+            else:
+                sel = np.asarray(slots, dtype=int)
+                sub_stacks = [
+                    st if site in (q, q + 1) else st[sel]
+                    for site, st in enumerate(block.stacks)
+                ]
+                u_sub, s_sub, vh_sub = u[sel], s[sel], vh[sel]
+                sub_members = [block.members[slot] for slot in slots]
+            g2 = len(sub_members)
+            sub_stacks[q] = u_sub[:, :, :kept].reshape(g2, chi_l, 2, kept)
+            # Same elementwise absorption of the singular values into the
+            # right factor as the per-point path (s[:, None, None] * vh).
+            sub_stacks[q + 1] = (
+                s_sub[:, :kept, None] * vh_sub[:, :kept, :]
+            ).reshape(g2, kept, 2, chi_r)
+            new_blocks.append(_ChainBlock(sub_members, sub_stacks))
+    return new_blocks
 
-    results: List[Tuple[int, MPS]] = []
+
+def _finalize_blocks(
+    blocks: List[_ChainBlock],
+    center: int,
+    num_qubits: int,
+    policy: TruncationPolicy,
+    ops_for: Dict[int, list],
+    discarded: Dict[int, float],
+    records: Dict[int, List[TruncationRecord]],
+    results: List[Tuple[int, MPS]],
+) -> None:
+    """Extract every member of ``blocks`` into its own per-point MPS."""
     for block in blocks:
         for slot, member in enumerate(block.members):
             tensors = [block.stacks[site][slot].copy() for site in range(num_qubits)]
             state = MPS(tensors, truncation=policy, center=center)
             state._cumulative_discarded_weight = discarded[member]
             state._truncation_records = records[member]
-            state._gates_applied = gates_applied
-            state._two_qubit_gates_applied = two_qubit_gates
-            results.append((member_indices[member], state))
+            ops = ops_for[member]
+            state._gates_applied = len(ops)
+            state._two_qubit_gates_applied = sum(
+                1 for op in ops if len(op.qubits) == 2
+            )
+            results.append((member, state))
+
+
+def _sweep_prefix_tree(
+    circuits: Sequence,
+    member_indices: Sequence[int],
+    policy: TruncationPolicy,
+    log: GateShapeLog,
+) -> List[Tuple[int, MPS]]:
+    """Simulate one width group of circuits through a prefix-sharing tree.
+
+    Returns ``(original_index, state)`` pairs.  Members advance in one
+    stacked sweep while their next gate token agrees, fork when it diverges
+    (or when a member's circuit ends); same-structure members therefore never
+    fork and arbitrary mixtures fragment only where their structures actually
+    differ.  See the module docstring for the bit-identicality contract.
+    """
+    num_qubits = circuits[member_indices[0]].num_qubits
+    ops_for: Dict[int, list] = {m: list(circuits[m]) for m in member_indices}
+    tokens: Dict[int, List[Tuple[int, ...]]] = {
+        m: [op.qubits for op in ops_for[m]] for m in member_indices
+    }
+    discarded: Dict[int, float] = {m: 0.0 for m in member_indices}
+    records: Dict[int, List[TruncationRecord]] = {m: [] for m in member_indices}
+
+    # The stacked |0...0> start: every site needs its own stack array
+    # because sites are updated independently during the sweep.
+    batch = len(member_indices)
+    zero = np.zeros((batch, 1, 2, 1), dtype=np.complex128)
+    zero[:, 0, 0, 0] = 1.0
+    root = _ChainBlock(
+        list(member_indices), [zero.copy() for _ in range(num_qubits)]
+    )
+
+    results: List[Tuple[int, MPS]] = []
+    # Each tree node is (blocks, center, next op index); the walk is
+    # iterative so fork depth never touches the Python recursion limit.
+    nodes: List[Tuple[List[_ChainBlock], int, int]] = [([root], 0, 0)]
+    while nodes:
+        blocks, center, k = nodes.pop()
+        while True:
+            members = [m for b in blocks for m in b.members]
+            groups: Dict[Optional[Tuple[int, ...]], List[int]] = {}
+            for m in members:
+                tok = tokens[m][k] if k < len(tokens[m]) else None
+                groups.setdefault(tok, []).append(m)
+            if len(groups) > 1:
+                # Divergence point: fork one branch per distinct next token.
+                log.prefix_forks += len(groups) - 1
+                for tok, subset in groups.items():
+                    sub_blocks = _slice_blocks(blocks, frozenset(subset))
+                    if tok is None:
+                        _finalize_blocks(
+                            sub_blocks, center, num_qubits, policy,
+                            ops_for, discarded, records, results,
+                        )
+                    else:
+                        nodes.append((sub_blocks, center, k))
+                break
+            qubits = next(iter(groups))
+            if qubits is None:
+                _finalize_blocks(
+                    blocks, center, num_qubits, policy,
+                    ops_for, discarded, records, results,
+                )
+                break
+            gate_for = {m: ops_for[m][k].matrix() for m in members}
+            if len(qubits) == 1:
+                _apply_single(blocks, qubits[0], gate_for, log)
+            else:
+                if len(qubits) != 2 or qubits[1] != qubits[0] + 1:
+                    raise SimulationError(
+                        "batched encoding requires a routed circuit "
+                        f"(adjacent two-qubit gates); got targets {qubits}"
+                    )
+                q = qubits[0]
+                center = _move_center(blocks, center, q)
+                blocks = _apply_two(
+                    blocks, q, gate_for, policy, log, discarded, records
+                )
+                center = q + 1
+            k += 1
     return results
 
 
@@ -312,13 +428,19 @@ def encode_circuits(
     circuits: Sequence,
     policy: TruncationPolicy | None = None,
     log: GateShapeLog | None = None,
+    prefix_sharing: bool = True,
 ) -> List[MPS]:
     """Simulate a batch of routed circuits through stacked gate sweeps.
 
-    Circuits are grouped by :func:`circuit_structure_signature`; each group
-    runs one stacked sweep (states that diverge in bond dimension regroup on
-    the fly), so arbitrary mixtures are supported and every resulting MPS is
-    bit-identical to simulating its circuit alone.
+    With ``prefix_sharing`` (the default) circuits are grouped only by qubit
+    count and swept as a prefix-sharing tree: circuits whose structure
+    signatures share a common gate prefix ride one stacked sweep until the
+    first diverging gate target, then fork.  With ``prefix_sharing=False``
+    circuits are grouped by full :func:`circuit_structure_signature` and each
+    group runs its own sweep (the pre-tree behaviour, kept for benchmarks).
+    Either way, states that diverge in bond dimension regroup on the fly, so
+    arbitrary mixtures are supported and every resulting MPS is bit-identical
+    to simulating its circuit alone.
 
     Parameters
     ----------
@@ -331,6 +453,8 @@ def encode_circuits(
     log:
         Optional :class:`GateShapeLog` that accumulates per-gate tensor
         shapes for backend cost models.
+    prefix_sharing:
+        Share common gate-prefix sweeps across structure groups.
 
     Returns
     -------
@@ -344,10 +468,15 @@ def encode_circuits(
     if log is None:
         log = GateShapeLog()
     states: List[MPS | None] = [None] * len(circuits)
-    groups = group_circuits_by_structure(circuits)
-    log.structure_groups = len(groups)
-    for indices in groups.values():
-        for original_idx, state in _sweep_structure_group(
+    log.structure_groups = len(group_circuits_by_structure(circuits))
+    if prefix_sharing:
+        sweep_groups: Dict[Tuple, List[int]] = defaultdict(list)
+        for idx, circuit in enumerate(circuits):
+            sweep_groups[(circuit.num_qubits,)].append(idx)
+    else:
+        sweep_groups = group_circuits_by_structure(circuits)
+    for indices in sweep_groups.values():
+        for original_idx, state in _sweep_prefix_tree(
             circuits, indices, policy, log
         ):
             states[original_idx] = state

@@ -31,6 +31,8 @@ __all__ = [
     "robust_svd",
     "qr_right",
     "rq_left",
+    "stacked_qr_right",
+    "stacked_rq_left",
     "apply_single_qubit_gate",
     "merge_sites",
     "apply_two_qubit_gate_to_theta",
@@ -99,6 +101,42 @@ def rq_left(tensor: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     k = q_adj.shape[1]
     r = np.ascontiguousarray(r_adj.conj().T)
     q = np.ascontiguousarray(q_adj.conj().T).reshape(k, phys, right)
+    return r, q
+
+
+def stacked_qr_right(stacks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked form of :func:`qr_right` over a ``(g, l, p, r)`` site block.
+
+    Returns ``(Q, R)`` with ``Q`` of shape ``(g, l, p, k)`` and ``R`` of shape
+    ``(g, k, r)``.  ``np.linalg.qr`` is a gufunc whose per-slice factors are
+    bit-identical to the single-matrix call, so pushing a whole stack's
+    orthogonality centres rightward in one call produces exactly the tensors
+    ``g`` per-point :func:`qr_right` calls would -- the invariant the batched
+    encoding sweep (and now the prefix-sharing encode tree) relies on.
+    """
+    g, left, phys, right = stacks.shape
+    qs, rs = np.linalg.qr(stacks.reshape(g, left * phys, right))
+    k = qs.shape[2]
+    return qs.reshape(g, left, phys, k), rs
+
+
+def stacked_rq_left(stacks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked form of :func:`rq_left` over a ``(g, l, p, r)`` site block.
+
+    Returns ``(R, Q)`` with ``R`` of shape ``(g, l, k)`` and ``Q`` of shape
+    ``(g, k, p, r)``.  Computed -- like the per-point version -- as a QR of
+    the adjoint, because that is the factorisation with a stacked gufunc
+    whose slices match the single-matrix call bit for bit.  Factors are
+    C-contiguous for the same downstream-GEMM reason as :func:`rq_left`.
+    """
+    g, left, phys, right = stacks.shape
+    mats = stacks.reshape(g, left, phys * right)
+    q_adj, r_adj = np.linalg.qr(np.conj(mats).transpose(0, 2, 1))
+    k = q_adj.shape[2]
+    r = np.ascontiguousarray(np.conj(r_adj).transpose(0, 2, 1))
+    q = np.ascontiguousarray(np.conj(q_adj).transpose(0, 2, 1)).reshape(
+        g, k, phys, right
+    )
     return r, q
 
 

@@ -47,6 +47,8 @@ _SUM_KEYS = (
     "wall_inner_product_time_s",
     "modelled_simulation_time_s",
     "modelled_inner_product_time_s",
+    "modelled_batched_simulation_time_s",
+    "modelled_batched_inner_product_time_s",
     "num_simulations",
     "num_inner_products",
 )

@@ -95,7 +95,11 @@ class AsyncServingQueue:
         (coalescing never changes results, only latency).
     wait_jitter_ms:
         Optional uniform jitter added to each partial-batch deadline so many
-        replicas started together do not flush in lock-step.
+        replicas started together do not flush in lock-step.  Predictions
+        are unaffected (coalescing never changes results); the flush-time
+        decorrelation it buys is measured by the serving benchmark's
+        anti-thundering-herd workload via
+        :attr:`~repro.profiling.ServingMetrics.flush_times`.
     memoize:
         Memoise decision values by raw row bytes (LRU, ``memo_capacity``
         entries).  Scoring is a pure function of the row, so a repeated hot

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.backends import CPU_COST_MODEL, GPU_COST_MODEL, DeviceCostModel
+from repro.backends import (
+    CPU_COST_MODEL,
+    GPU_COST_MODEL,
+    DeviceCostModel,
+    preferred_cross_model,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -72,3 +77,68 @@ def test_flop_counts_positive_and_monotone():
     assert DeviceCostModel.inner_product_flops(10, 8) < DeviceCostModel.inner_product_flops(
         10, 16
     )
+
+
+# ----------------------------------------------------------------------
+# Stacked cross-sweep entries
+# ----------------------------------------------------------------------
+def test_batched_inner_product_time_equals_per_point_at_batch_one():
+    """The stacked model degenerates to the per-point model for one pair."""
+    for model in (CPU_COST_MODEL, GPU_COST_MODEL):
+        assert model.batched_inner_product_time(1, 24, 16) == pytest.approx(
+            model.inner_product_time(24, 16)
+        )
+
+
+def test_batched_inner_product_time_amortises_launch_overhead():
+    """Launches are charged once per stack, so the stacked time is strictly
+    below batch x per-point and strictly above the pure flop time."""
+    for model in (CPU_COST_MODEL, GPU_COST_MODEL):
+        batch, nq, chi = 64, 24, 16
+        stacked = model.batched_inner_product_time(batch, nq, chi)
+        per_point = batch * model.inner_product_time(nq, chi)
+        flops_only = model.batched_inner_product_flops(batch, nq, chi) / (
+            model.contraction_gflops * 1e9
+        )
+        assert flops_only < stacked < per_point
+
+
+def test_batched_inner_product_flops_scale_linearly():
+    assert DeviceCostModel.batched_inner_product_flops(
+        8, 24, 16
+    ) == 8 * DeviceCostModel.inner_product_flops(24, 16)
+
+
+def test_cross_sweep_time_is_the_full_block_as_one_stack():
+    for model in (CPU_COST_MODEL, GPU_COST_MODEL):
+        assert model.cross_sweep_time(6, 7, 24, 16) == pytest.approx(
+            model.batched_inner_product_time(42, 24, 16)
+        )
+
+
+def test_preferred_cross_model_picks_cpu_then_gpu():
+    """The modelled Fig. 5 dispatch: small-chi blocks stay on the CPU, a
+    large stacked sweep's flops overtake the GPU's launch overhead."""
+    pairs = 32 * 64  # a serving-scale landmark block
+    assert preferred_cross_model(pairs, 24, 4) is CPU_COST_MODEL
+    assert preferred_cross_model(pairs, 24, 256) is GPU_COST_MODEL
+    # The crossover chi for a block this size is far below the per-point
+    # chi ~ 320: batching amortises the GPU's launch cost over the stack.
+    block_crossover = next(
+        chi
+        for chi in range(2, 1024)
+        if GPU_COST_MODEL.batched_inner_product_time(pairs, 24, chi)
+        < CPU_COST_MODEL.batched_inner_product_time(pairs, 24, chi)
+    )
+    per_point_crossover = next(
+        chi
+        for chi in range(2, 4096)
+        if GPU_COST_MODEL.inner_product_time(24, chi)
+        < CPU_COST_MODEL.inner_product_time(24, chi)
+    )
+    assert block_crossover < per_point_crossover
+
+
+def test_preferred_cross_model_rejects_empty_candidates():
+    with pytest.raises(ConfigurationError):
+        preferred_cross_model(10, 24, 8, models=())

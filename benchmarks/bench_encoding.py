@@ -65,6 +65,28 @@ from repro.circuits import build_feature_map_circuit
 from repro.config import AnsatzConfig
 from repro.engine import EngineConfig, KernelEngine, StackedStateBlock, StateStore
 from repro.serving import AsyncServingQueue
+from repro.telemetry import (
+    MetricsRegistry,
+    bind_engine,
+    bind_queue,
+    render_prometheus,
+)
+
+
+def maybe_emit_metrics(args, payload: dict) -> None:
+    """Dump the bound registry: Prometheus text at the flag's path + JSON."""
+    if args.metrics_registry is None:
+        return
+    args.emit_metrics.write_text(render_prometheus(args.metrics_registry))
+    snapshot = args.metrics_registry.to_dict()
+    json_path = Path(str(args.emit_metrics) + ".json")
+    json_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    payload["telemetry"] = {
+        "metrics_path": str(args.emit_metrics),
+        "json_path": str(json_path),
+        "families": len(snapshot),
+    }
+    print(f"wrote {args.emit_metrics} + {json_path} ({len(snapshot)} families)")
 
 
 def states_identical(left, right) -> bool:
@@ -191,6 +213,10 @@ def run_cold_serving(args, mode_rng_seed: int = 11) -> tuple[list[dict], list[st
             memoize=False,
             seed=0,
         )
+        if args.metrics_registry is not None:
+            bind_queue(
+                args.metrics_registry, queue, replica=f"be{int(batch_encoding)}"
+            )
         start = time.perf_counter()
         futures = queue.submit_many(stream)
         results = [f.result(timeout=600) for f in futures]
@@ -420,6 +446,8 @@ def run_cross_dispatch(args, rng) -> tuple[list[dict], list[str]]:
     )
     gpu = SimulatedGpuBackend()
     engine = KernelEngine(ansatz, config=EngineConfig(), cross_backend=gpu)
+    if args.metrics_registry is not None:
+        bind_engine(args.metrics_registry, engine, replica="dispatch")
     reference = KernelEngine(ansatz, config=EngineConfig())
     X_landmarks = rng.uniform(0.05, 1.95, size=(args.landmarks, args.features))
     X_rows = rng.uniform(0.05, 1.95, size=(args.cross_rows, args.features))
@@ -548,7 +576,17 @@ def main() -> None:
         default=0,
         help="workload seed; fixed seeds keep baseline comparisons deterministic",
     )
+    parser.add_argument(
+        "--emit-metrics",
+        type=Path,
+        default=None,
+        help="bind a telemetry registry to the served queues / dispatch engine "
+        "and dump it after the run: Prometheus text here, JSON at PATH.json",
+    )
     args = parser.parse_args()
+    args.metrics_registry = (
+        MetricsRegistry() if args.emit_metrics is not None else None
+    )
     if args.out is None:
         args.out = Path(
             "BENCH_fused.json" if args.scenario == "fused" else "BENCH_encoding.json"
@@ -556,6 +594,7 @@ def main() -> None:
 
     if args.scenario == "fused":
         payload, failures = run_fused_scenario(args)
+        maybe_emit_metrics(args, payload)
         args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.out}")
         if failures:
@@ -615,6 +654,7 @@ def main() -> None:
         "acceptance_speedup": acceptance_speedup,
         "ok": not failures,
     }
+    maybe_emit_metrics(args, payload)
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.out}")
 

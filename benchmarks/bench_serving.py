@@ -66,6 +66,29 @@ from repro.config import AnsatzConfig
 from repro.core import QuantumKernelInferenceEngine
 from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
 from repro.serving import AsyncServingQueue, PersistentStateStore
+from repro.telemetry import MetricsRegistry, bind_queue, render_prometheus
+
+
+def maybe_bind_queue(args, queue, replica: str) -> None:
+    """Publish this queue (and its engine) when ``--emit-metrics`` is on."""
+    if args.metrics_registry is not None:
+        bind_queue(args.metrics_registry, queue, replica=replica)
+
+
+def maybe_emit_metrics(args, payload: dict) -> None:
+    """Dump the bound registry: Prometheus text at the flag's path + JSON."""
+    if args.metrics_registry is None:
+        return
+    args.emit_metrics.write_text(render_prometheus(args.metrics_registry))
+    snapshot = args.metrics_registry.to_dict()
+    json_path = Path(str(args.emit_metrics) + ".json")
+    json_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    payload["telemetry"] = {
+        "metrics_path": str(args.emit_metrics),
+        "json_path": str(json_path),
+        "families": len(snapshot),
+    }
+    print(f"wrote {args.emit_metrics} + {json_path} ({len(snapshot)} families)")
 
 
 def build_engine(args) -> QuantumKernelInferenceEngine:
@@ -133,6 +156,7 @@ def run_queue(args, stream: np.ndarray, max_batch: int, memoize: bool) -> tuple[
         memoize=memoize,
         seed=0,
     )
+    maybe_bind_queue(args, queue, replica=f"b{max_batch}-m{int(memoize)}")
     start = time.perf_counter()
     futures = queue.submit_many(stream)
     results = [f.result(timeout=600) for f in futures]
@@ -180,6 +204,7 @@ def run_durable_pass(
         memoize=False,
         seed=0,
     )
+    maybe_bind_queue(args, queue, replica="warm" if warm else "cold")
     start = time.perf_counter()
     futures = queue.submit_many(stream)
     results = [f.result(timeout=600) for f in futures]
@@ -299,6 +324,9 @@ def run_jitter_pass(
                 memoize=False,
                 seed=replica_seed,
             )
+        )
+        maybe_bind_queue(
+            args, replicas[-1], replica=f"j{wait_jitter_ms:g}-r{replica_seed}"
         )
     pace_s = args.pace_ms / 1e3
     start = time.perf_counter()
@@ -461,7 +489,17 @@ def main() -> None:
         help="offset applied to every workload seed; the default keeps CI "
         "runs deterministic so baseline comparisons are run-to-run stable",
     )
+    parser.add_argument(
+        "--emit-metrics",
+        type=Path,
+        default=None,
+        help="bind a telemetry registry to every served queue and dump it "
+        "after the run: Prometheus text at this path, JSON at PATH.json",
+    )
     args = parser.parse_args()
+    args.metrics_registry = (
+        MetricsRegistry() if args.emit_metrics is not None else None
+    )
     if args.out is None:
         args.out = Path(
             {
@@ -472,6 +510,7 @@ def main() -> None:
 
     if args.scenario == "jitter":
         payload, failures = run_jitter_scenario(args)
+        maybe_emit_metrics(args, payload)
         args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.out}")
         if failures:
@@ -487,6 +526,7 @@ def main() -> None:
 
     if args.scenario == "persistence":
         payload, failures = run_persistence_scenario(args)
+        maybe_emit_metrics(args, payload)
         args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.out}")
         if failures:
@@ -561,6 +601,7 @@ def main() -> None:
         "acceptance_speedup": acceptance_speedup,
         "ok": not failures,
     }
+    maybe_emit_metrics(args, payload)
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.out}")
 

@@ -29,8 +29,9 @@ writes, same hit/miss accounting, off the critical path.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from typing import Deque, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -106,6 +107,11 @@ class StreamingNystroemClassifier:
         self.buffer_size = buffer_size
         self._buffer: List[np.ndarray] = []
         self.num_served = 0
+        #: Optional calibrated conformal classifier (see
+        #: :meth:`attach_conformal`) plus its rolling-coverage window.
+        self.conformal = None
+        self._coverage_window: Optional[Deque[float]] = None
+        self.feedback_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -215,6 +221,61 @@ class StreamingNystroemClassifier:
         result = self.classify(batch)
         self._buffer.clear()
         return result
+
+    # ------------------------------------------------------------------
+    def attach_conformal(
+        self, conformal, window: int = 256
+    ) -> "StreamingNystroemClassifier":
+        """Attach a calibrated conformal wrapper and a rolling-coverage window.
+
+        ``conformal`` is a calibrated
+        :class:`~repro.svm.SplitConformalClassifier` (anything with
+        ``predict_set(decision_values)``).  Labelled feedback recorded via
+        :meth:`record_feedback` then maintains :meth:`rolling_coverage` over
+        the last ``window`` points -- the live drift gauge the telemetry
+        endpoint exports as ``repro_conformal_rolling_coverage``.  Attaching
+        never touches the scoring path: predictions stay byte-identical.
+        """
+        if window < 1:
+            raise SVMError(f"window must be >= 1, got {window}")
+        self.conformal = conformal
+        self._coverage_window = deque(maxlen=int(window))
+        self.feedback_count = 0
+        return self
+
+    def record_feedback(
+        self, decision_values: np.ndarray, y_true: Sequence[int]
+    ) -> float:
+        """Score labelled feedback against the conformal sets; returns the
+        batch coverage (fraction of true labels inside their predicted set).
+
+        Requires :meth:`attach_conformal` first.  Each point contributes one
+        0/1 coverage sample to the rolling window.
+        """
+        if self.conformal is None or self._coverage_window is None:
+            raise SVMError(
+                "no conformal classifier attached; call attach_conformal first"
+            )
+        decision_values = np.asarray(decision_values, dtype=float).ravel()
+        labels = np.asarray(y_true, dtype=int).ravel()
+        if decision_values.shape[0] != labels.shape[0]:
+            raise SVMError(
+                f"{decision_values.shape[0]} decision values but "
+                f"{labels.shape[0]} labels"
+            )
+        if decision_values.shape[0] == 0:
+            raise SVMError("feedback batch must contain at least one point")
+        sets = self.conformal.predict_set(decision_values)
+        covered = [1.0 if int(y) in s else 0.0 for s, y in zip(sets, labels)]
+        self._coverage_window.extend(covered)
+        self.feedback_count += len(covered)
+        return float(np.mean(covered))
+
+    def rolling_coverage(self) -> Optional[float]:
+        """Coverage over the rolling feedback window (``None`` when empty)."""
+        if not self._coverage_window:
+            return None
+        return float(np.mean(self._coverage_window))
 
     # ------------------------------------------------------------------
     @classmethod

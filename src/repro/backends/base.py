@@ -177,6 +177,34 @@ class Backend(abc.ABC):
         self.wall_inner_product_time_s = 0.0
         self.num_simulations = 0
         self.num_inner_products = 0
+        #: Stacked-encode accounting: how many batched sweeps ran, how many
+        #: stacked gate launches they issued, and how many prefix-tree forks
+        #: they took.  These are pure functions of the encoded circuits (not
+        #: wall clock), so the telemetry layer exports them as deterministic
+        #: counters (``repro_encode_*_total``).
+        self.num_encode_batches = 0
+        self.num_encode_stacked_launches = 0
+        self.num_prefix_forks = 0
+        #: Lifetime totals: :meth:`reset_counters` folds the live counters in
+        #: here instead of dropping them, so the engine's per-call accounting
+        #: and the telemetry layer's monotone counters can coexist.
+        self._lifetime: dict[str, float] = {}
+
+    #: Every numeric counter attribute; reset_counters / lifetime_summary
+    #: iterate this so the two views can never drift apart.
+    _COUNTER_ATTRS = (
+        "num_simulations",
+        "num_inner_products",
+        "num_encode_batches",
+        "num_encode_stacked_launches",
+        "num_prefix_forks",
+        "modelled_simulation_time_s",
+        "modelled_inner_product_time_s",
+        "modelled_batched_simulation_time_s",
+        "modelled_batched_inner_product_time_s",
+        "wall_simulation_time_s",
+        "wall_inner_product_time_s",
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -349,6 +377,9 @@ class Backend(abc.ABC):
         self.modelled_batched_simulation_time_s += modelled_batched
         self.wall_simulation_time_s += wall
         self.num_simulations += len(circuits)
+        self.num_encode_batches += 1
+        self.num_encode_stacked_launches += log.stacked_launches
+        self.num_prefix_forks += log.prefix_forks
         num_groups = log.structure_groups
         return BatchSimulationResult(
             states=tuple(states),
@@ -482,7 +513,14 @@ class Backend(abc.ABC):
 
     # ------------------------------------------------------------------
     def reset_counters(self) -> None:
-        """Zero the accumulated timing counters."""
+        """Zero the per-call counters, folding them into the lifetime totals.
+
+        The engine resets before every public call so :class:`EngineResult`
+        reports per-call figures; the fold keeps :meth:`lifetime_summary`
+        monotone across those resets for the telemetry exporters.
+        """
+        for attr in self._COUNTER_ATTRS:
+            self._lifetime[attr] = self._lifetime.get(attr, 0) + getattr(self, attr)
         self.modelled_simulation_time_s = 0.0
         self.modelled_inner_product_time_s = 0.0
         self.modelled_batched_simulation_time_s = 0.0
@@ -491,6 +529,16 @@ class Backend(abc.ABC):
         self.wall_inner_product_time_s = 0.0
         self.num_simulations = 0
         self.num_inner_products = 0
+        self.num_encode_batches = 0
+        self.num_encode_stacked_launches = 0
+        self.num_prefix_forks = 0
+
+    def lifetime_summary(self) -> dict[str, float]:
+        """Counters accumulated since construction, surviving resets."""
+        return {
+            attr: self._lifetime.get(attr, 0) + getattr(self, attr)
+            for attr in self._COUNTER_ATTRS
+        }
 
     def timing_summary(self) -> dict[str, float]:
         """Accumulated timing counters as a flat dictionary."""
@@ -498,6 +546,9 @@ class Backend(abc.ABC):
             "backend": self.name,
             "num_simulations": self.num_simulations,
             "num_inner_products": self.num_inner_products,
+            "num_encode_batches": self.num_encode_batches,
+            "num_encode_stacked_launches": self.num_encode_stacked_launches,
+            "num_prefix_forks": self.num_prefix_forks,
             "modelled_simulation_time_s": self.modelled_simulation_time_s,
             "modelled_inner_product_time_s": self.modelled_inner_product_time_s,
             "modelled_batched_simulation_time_s": (

@@ -39,6 +39,7 @@ from ..circuits import build_feature_map_circuit
 from ..config import AnsatzConfig, SimulationConfig
 from ..exceptions import EngineError, KernelError
 from ..mps import MPS
+from ..telemetry.tracing import TRACER
 from .batching import StackedStateBlock
 from .cache import StateStore, ansatz_fingerprint, simulation_fingerprint, state_key
 from .plan import (
@@ -557,15 +558,24 @@ class KernelEngine:
         hits0, misses0 = self._cache_counts()
         if serving and block is not None and self.config.fused_pipeline:
             return self._execute_fused(X_rows, train_states, block, hits0, misses0)
-        row_states = self.encode_rows(X_rows)
+        with TRACER.span("engine.encode") as sp:
+            row_states = self.encode_rows(X_rows)
+            if sp is not None:
+                sp.set_attribute("rows", len(row_states))
         if serving and block is not None:
-            result = self.backend.inner_product_block(row_states, block)
+            with TRACER.span("engine.overlap") as sp:
+                result = self.backend.inner_product_block(row_states, block)
+                if sp is not None:
+                    sp.set_attribute("pairs", result.num_pairs)
             K = np.abs(result.values) ** 2
             return self._result_from_counters(K, row_states, hits0, misses0)
         if not serving and self.config.cross_block_sweep:
-            sweep_block = StackedStateBlock(list(train_states))
-            sweep_backend = self._select_cross_backend(row_states, sweep_block)
-            result = sweep_backend.inner_product_block(row_states, sweep_block)
+            with TRACER.span("engine.overlap") as sp:
+                sweep_block = StackedStateBlock(list(train_states))
+                sweep_backend = self._select_cross_backend(row_states, sweep_block)
+                result = sweep_backend.inner_product_block(row_states, sweep_block)
+                if sp is not None:
+                    sp.set_attribute("pairs", result.num_pairs)
             K = np.abs(result.values) ** 2
             return self._result_from_counters(K, row_states, hits0, misses0)
         if serving:
@@ -574,7 +584,10 @@ class KernelEngine:
             )
         else:
             plan = CrossGramPlan(len(row_states), len(train_states))
-        K = self.execute_plan(plan, row_states, train_states)
+        with TRACER.span("engine.overlap") as sp:
+            K = self.execute_plan(plan, row_states, train_states)
+            if sp is not None:
+                sp.set_attribute("pairs", int(K.size))
         return self._result_from_counters(K, row_states, hits0, misses0)
 
     def _execute_fused(
@@ -603,52 +616,63 @@ class KernelEngine:
         pending: List[int] = []
         deferred: List[int] = []
         keys: List[str] = []
-        if self.store is not None:
-            pending_keys = set()
-            keys = [
-                state_key(row, self._ansatz_fp, self._simulation_fp) for row in X_rows
-            ]
-            for i in range(n):
-                if keys[i] in pending_keys:
-                    deferred.append(i)
-                    continue
-                cached = self.store.get(keys[i])
-                if cached is not None:
-                    states[i] = cached
-                else:
-                    pending.append(i)
-                    pending_keys.add(keys[i])
-        else:
-            pending = list(range(n))
-        # Critical path: stacked encode of the misses feeding straight into
-        # the block sweep.  No store traffic between the two.
-        if pending:
-            if self.config.batch_encoding and len(pending) > 1:
-                self._encode_batched(X_rows, pending, states)
+        with TRACER.span("engine.encode") as sp:
+            if self.store is not None:
+                pending_keys = set()
+                keys = [
+                    state_key(row, self._ansatz_fp, self._simulation_fp)
+                    for row in X_rows
+                ]
+                for i in range(n):
+                    if keys[i] in pending_keys:
+                        deferred.append(i)
+                        continue
+                    cached = self.store.get(keys[i])
+                    if cached is not None:
+                        states[i] = cached
+                    else:
+                        pending.append(i)
+                        pending_keys.add(keys[i])
             else:
-                for i in pending:
-                    states[i] = self.simulate_row(X_rows[i]).state
+                pending = list(range(n))
+            # Critical path: stacked encode of the misses feeding straight
+            # into the block sweep.  No store traffic between the two.
+            if pending:
+                if self.config.batch_encoding and len(pending) > 1:
+                    self._encode_batched(X_rows, pending, states)
+                else:
+                    for i in pending:
+                        states[i] = self.simulate_row(X_rows[i]).state
+            if sp is not None:
+                sp.set_attribute("rows", n)
+                sp.set_attribute("cold", len(pending))
         first_slot = {}
         for i in pending:
             first_slot.setdefault(keys[i] if keys else i, i)
         for i in deferred:
             states[i] = states[first_slot[keys[i]]]
         row_states = [s for s in states if s is not None]
-        result = self.backend.inner_product_block(row_states, block)
+        with TRACER.span("engine.overlap") as sp:
+            result = self.backend.inner_product_block(row_states, block)
+            if sp is not None:
+                sp.set_attribute("pairs", result.num_pairs)
         K = plan.initial_matrix()
         K[...] = np.abs(result.values) ** 2
         # Off the critical path: the same store writes and duplicate
         # re-resolutions the unfused path performs, in the same
         # (put-misses, then re-get duplicates) order.
         if self.store is not None:
-            for i in pending:
-                state = states[i]
-                if state is not None:
-                    self.store.put(keys[i], state)
-            for i in deferred:
-                cached = self.store.get(keys[i])
-                if cached is not None:
-                    states[i] = cached
+            with TRACER.span("engine.store_write") as sp:
+                for i in pending:
+                    state = states[i]
+                    if state is not None:
+                        self.store.put(keys[i], state)
+                for i in deferred:
+                    cached = self.store.get(keys[i])
+                    if cached is not None:
+                        states[i] = cached
+                if sp is not None:
+                    sp.set_attribute("writes", len(pending))
         return self._result_from_counters(K, row_states, hits0, misses0)
 
     def _select_cross_backend(

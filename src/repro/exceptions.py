@@ -73,6 +73,10 @@ class BackendError(ReproError):
     """Raised when a simulation backend is misconfigured or unavailable."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the telemetry subsystem (registry misuse, malformed export)."""
+
+
 class ServingError(ReproError):
     """Raised by the async serving layer (queue misuse, closed service)."""
 

@@ -1,5 +1,21 @@
-"""Instrumentation shared by the benchmark harness: timers, records, tables."""
+"""Instrumentation shared by the benchmark harness: timers, records, tables.
 
+The serving accounting classes (:class:`ServingMetrics`,
+:class:`RouterMetrics`) now sit *atop* the unified telemetry registry: the
+registry primitives are re-exported here for backward compatibility, and
+:mod:`repro.telemetry.instrument` binds the accounting silos into a
+:class:`~repro.telemetry.MetricsRegistry` via pull-model collectors, so the
+hot paths keep their existing cheap counters while every value becomes
+scrapeable through the Prometheus endpoint.
+"""
+
+from ..telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .timers import Timer, timed
 from .records import RunRecord, RecordCollection
 from .reporting import format_table, summarize_samples, quartiles
@@ -15,4 +31,9 @@ __all__ = [
     "quartiles",
     "ServingMetrics",
     "RouterMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
 ]

@@ -98,8 +98,24 @@ class ServingMetrics:
         with self._lock:
             return self._queue_depth_high_water
 
+    def latency_samples(self) -> List[float]:
+        """Every recorded end-to-end request latency, in completion order.
+
+        The telemetry bindings mirror these into the serving latency
+        histogram at scrape time (pull model: no per-request registry work).
+        """
+        with self._lock:
+            return list(self._latencies_s)
+
+    def batch_size_samples(self) -> List[int]:
+        """Every flushed batch's size, in flush order."""
+        with self._lock:
+            return list(self._batch_sizes)
+
     def latency_percentile(self, q: float) -> float:
         """Latency percentile in seconds (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
             if not self._latencies_s:
                 raise ReproError("no completed requests recorded yet")
@@ -234,6 +250,29 @@ class RouterMetrics:
         """Accepted requests per replica index."""
         with self._lock:
             return list(self._routed)
+
+    @property
+    def failover_count(self) -> int:
+        """Requests re-routed off their policy-chosen replica."""
+        with self._lock:
+            return self._failovers
+
+    def fleet_latency_percentile(self, q: float) -> float:
+        """Latency percentile over every replica's completed requests.
+
+        Pools the per-replica samples so the fleet p99 reflects the traffic
+        mix, not an average of per-replica percentiles.  Raises
+        :class:`~repro.exceptions.ReproError` for an out-of-range ``q`` or
+        when no replica has completed a request yet.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        pooled: List[float] = []
+        for metrics in self.replica_metrics:
+            pooled.extend(metrics.latency_samples())
+        if not pooled:
+            raise ReproError("no replica has completed a request yet")
+        return float(np.percentile(np.asarray(pooled), q))
 
     def view(self, warm_hits: int = 0, warm_lookups: int = 0) -> Dict:
         """One aggregated dashboard snapshot.

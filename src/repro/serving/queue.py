@@ -46,6 +46,7 @@ from ..config import make_rng
 from ..exceptions import ServingError
 from ..parallel.tiling import partition_indices
 from ..profiling import ServingMetrics
+from ..telemetry.tracing import TRACER, Span
 from .store import attach_shared_store, shared_store_kernel_rows
 
 __all__ = ["ServedPrediction", "AsyncServingQueue"]
@@ -70,6 +71,9 @@ class _Pending:
     row: np.ndarray
     future: "Future[ServedPrediction]"
     enqueued_at: float
+    #: Root span of this request's trace, minted at submit() when the global
+    #: tracer is enabled; ``None`` otherwise (the zero-cost default).
+    span: Optional[Span] = None
 
 
 class AsyncServingQueue:
@@ -183,6 +187,12 @@ class AsyncServingQueue:
         with self._cond:
             return len(self._pending)
 
+    @property
+    def closed(self) -> bool:
+        """Whether the queue has stopped accepting requests."""
+        with self._cond:
+            return self._closed
+
     # ------------------------------------------------------------------
     def submit(self, row: np.ndarray) -> "Future[ServedPrediction]":
         """Enqueue one raw feature row; returns a future with the result.
@@ -197,11 +207,17 @@ class AsyncServingQueue:
                 f"{self._expected_features}"
             )
         future: "Future[ServedPrediction]" = Future()
+        # Mint the request's trace root here (None when tracing is off):
+        # the coalescer thread later hangs the wait span and the flush's
+        # compute spans off it, giving one tree per request.
+        span = TRACER.mint_request("serving.request")
         now = time.perf_counter()
         with self._cond:
             if self._closed:
                 raise ServingError("serving queue is closed")
-            self._pending.append(_Pending(row=row, future=future, enqueued_at=now))
+            self._pending.append(
+                _Pending(row=row, future=future, enqueued_at=now, span=span)
+            )
             depth = len(self._pending)
             self._cond.notify_all()
         self.metrics.record_enqueue(depth, now)
@@ -282,18 +298,52 @@ class AsyncServingQueue:
 
     def _process(self, batch: List[_Pending]) -> None:
         start = time.perf_counter()
+        flush_span: Optional[Span] = None
+        if TRACER.enabled:
+            roots = [p.span for p in batch if p.span is not None]
+            if roots:
+                # One flush span, child of the oldest request's trace and
+                # *linked* to every other coalesced request's root -- the
+                # standard batch-consumer span topology.  Each request also
+                # gets its queue-wait recorded retroactively.
+                flush_span = TRACER.start_span(
+                    "serving.flush", roots[0], start_time=start
+                )
+                flush_span.set_attribute("batch_size", len(batch))
+                for root in roots[1:]:
+                    flush_span.add_link(root)
+                for p in batch:
+                    if p.span is not None:
+                        TRACER.record_span(
+                            "serving.wait", p.span, p.enqueued_at, start
+                        )
         try:
-            outputs = self._score_batch(batch)
+            with TRACER.use_span(flush_span):
+                with TRACER.span("serving.score") as score_span:
+                    outputs = self._score_batch(batch)
+                    if score_span is not None:
+                        score_span.set_attribute("batch_size", len(batch))
         except Exception as exc:  # propagate to every waiting caller
+            if flush_span is not None:
+                flush_span.set_attribute("error", repr(exc))
+                flush_span.end()
             for p in batch:
+                if p.span is not None:
+                    p.span.set_attribute("error", repr(exc))
+                    p.span.end()
                 p.future.set_exception(exc)
             with self._cond:
                 self._in_flight = []
             return
         now = time.perf_counter()
         latencies = [now - p.enqueued_at for p in batch]
+        if flush_span is not None:
+            flush_span.end(now)
         for i, p in enumerate(batch):
             prediction, decision = outputs[i]
+            if p.span is not None:
+                p.span.set_attribute("batch_size", len(batch))
+                p.span.end(now)
             p.future.set_result(
                 ServedPrediction(
                     prediction=prediction,

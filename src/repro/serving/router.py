@@ -48,6 +48,7 @@ from ..approx import StreamingNystroemClassifier
 from ..config import ServingConfig
 from ..exceptions import LoadShedError, ServingError
 from ..profiling import RouterMetrics, ServingMetrics
+from ..telemetry.tracing import TRACER
 from .persistence import PersistentStateStore, WarmUpReport
 from .queue import AsyncServingQueue, ServedPrediction
 
@@ -219,11 +220,14 @@ class ReplicaRouter:
                 # fingerprint so snapshots are checked on every restore.
                 store.fingerprint = classifier.feature_map.engine.fingerprint
                 if warm_up:
-                    self.warm_up_reports.append(
-                        store.warm_up(
+                    with TRACER.span("serving.warm_up") as sp:
+                        report = store.warm_up(
                             max_keys=warm_max_keys, max_bytes=warm_max_bytes
                         )
-                    )
+                        if sp is not None:
+                            sp.set_attribute("replica", len(self._queues))
+                            sp.set_attribute("loaded", report.loaded)
+                    self.warm_up_reports.append(report)
             metrics = ServingMetrics()
             replica_metrics.append(metrics)
             self._stores.append(store)
@@ -262,6 +266,16 @@ class ReplicaRouter:
         """Indices of replicas currently accepting traffic."""
         with self._lock:
             return [i for i, alive in enumerate(self._alive) if alive]
+
+    @property
+    def queues(self) -> List[AsyncServingQueue]:
+        """The per-replica serving queues, in replica-index order.
+
+        Exposed for the telemetry bindings (each replica's queue publishes
+        under its own ``replica`` label); routing still goes through
+        :meth:`submit`.
+        """
+        return list(self._queues)
 
     @property
     def replica_stores(self) -> List[Optional[PersistentStateStore]]:

@@ -1,0 +1,351 @@
+"""Pull-model bindings from the library's accounting silos to the registry.
+
+Each ``bind_*`` helper attaches one *collector* to a
+:class:`~repro.telemetry.registry.MetricsRegistry`: a callback that runs at
+collection time (a scrape, a snapshot, a bench dump), reads the bound
+object's existing counters, and mirrors them into named metric families.
+The bound objects are **duck-typed** -- this module never imports
+``serving``, ``engine`` or ``backends``, so telemetry stays a leaf package
+and the hot paths those silos already instrument gain zero per-request work.
+
+Collector names are stable per bound slot (``queue-0``, ``backend-0-primary``
+...), so re-binding after a replica restart replaces the stale collector
+instead of stacking a second reader of a dead object.
+
+Metric families follow the registry's naming conventions: ``repro_`` prefix,
+``_total`` for monotone counts, ``_seconds`` reserved for wall-clock values
+(which :meth:`MetricsRegistry.deterministic_snapshot` excludes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "bind_queue",
+    "bind_router",
+    "bind_state_store",
+    "bind_backend",
+    "bind_engine",
+    "bind_classifier_coverage",
+]
+
+#: Batch sizes are small integers; powers of two up to a generous max batch.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def bind_queue(
+    registry: MetricsRegistry,
+    queue,
+    replica: str = "0",
+    bind_engine_too: bool = True,
+) -> List[str]:
+    """Publish one serving queue's metrics (and, by default, its engine's).
+
+    ``queue`` is anything with the :class:`repro.serving.AsyncServingQueue`
+    surface: a ``metrics`` accounting object, ``memo_hits``, ``pending``.
+    Returns the registered collector names.
+    """
+    requests = registry.counter(
+        "repro_serving_requests_total",
+        "Requests completed by the serving queue (appeared in a flushed batch).",
+        ("replica",),
+    )
+    enqueued = registry.counter(
+        "repro_serving_enqueued_total",
+        "Requests accepted by the serving queue.",
+        ("replica",),
+    )
+    batches = registry.counter(
+        "repro_serving_batches_total",
+        "Batches flushed by the coalescer.",
+        ("replica",),
+    )
+    memo_hits = registry.counter(
+        "repro_serving_memo_hits_total",
+        "Requests answered from the response memo without touching the engine.",
+        ("replica",),
+    )
+    depth_high_water = registry.gauge(
+        "repro_serving_queue_depth_high_water",
+        "Deepest the pending buffer has ever been.",
+        ("replica",),
+    )
+    pending = registry.gauge(
+        "repro_serving_queue_pending",
+        "Requests accepted but not yet flushed, at scrape time.",
+        ("replica",),
+    )
+    latency = registry.histogram(
+        "repro_serving_request_latency_seconds",
+        "End-to-end request latency (enqueue to result), in seconds.",
+        ("replica",),
+    )
+    batch_size = registry.histogram(
+        "repro_serving_batch_size",
+        "Size of flushed batches (the coalescing win).",
+        ("replica",),
+        buckets=BATCH_SIZE_BUCKETS,
+    )
+    throughput = registry.gauge(
+        "repro_serving_throughput_rps",
+        "Completed requests per second of observed serving time.",
+        ("replica",),
+    )
+
+    def collect() -> None:
+        metrics = queue.metrics
+        snapshot = metrics.to_dict()
+        requests.labels(replica=replica).set_total(snapshot["total_requests"])
+        enqueued.labels(replica=replica).set_total(snapshot["total_enqueued"])
+        batches.labels(replica=replica).set_total(snapshot["total_batches"])
+        memo_hits.labels(replica=replica).set_total(queue.memo_hits)
+        depth_high_water.labels(replica=replica).set(
+            snapshot["queue_depth_high_water"]
+        )
+        pending.labels(replica=replica).set(queue.pending)
+        latency.labels(replica=replica).replace(metrics.latency_samples())
+        batch_size.labels(replica=replica).replace(metrics.batch_size_samples())
+        throughput.labels(replica=replica).set(snapshot.get("throughput_rps", 0.0))
+
+    names = [registry.register_collector(collect, name=f"queue-{replica}")]
+    engine = getattr(
+        getattr(getattr(queue, "classifier", None), "feature_map", None),
+        "engine",
+        None,
+    )
+    if bind_engine_too and engine is not None:
+        names.extend(bind_engine(registry, engine, replica=replica))
+    return names
+
+
+def bind_state_store(
+    registry: MetricsRegistry, store, replica: str = "0"
+) -> List[str]:
+    """Publish one content-addressed state store's hit/miss/eviction stats.
+
+    ``store`` is anything with a ``stats()`` returning the
+    :class:`repro.engine.cache.CacheStats` surface.
+    """
+    hits = registry.counter(
+        "repro_store_hits_total",
+        "State-store lookups answered from the cache.",
+        ("replica",),
+    )
+    misses = registry.counter(
+        "repro_store_misses_total",
+        "State-store lookups that required an encode.",
+        ("replica",),
+    )
+    evictions = registry.counter(
+        "repro_store_evictions_total",
+        "Entries evicted from the state store under its byte budget.",
+        ("replica",),
+    )
+    entries = registry.gauge(
+        "repro_store_entries",
+        "Entries currently resident in the state store.",
+        ("replica",),
+    )
+    bytes_in_use = registry.gauge(
+        "repro_store_bytes",
+        "Bytes currently resident in the state store.",
+        ("replica",),
+    )
+    hit_ratio = registry.gauge(
+        "repro_store_hit_ratio",
+        "Fraction of state-store lookups answered from the cache.",
+        ("replica",),
+    )
+
+    def collect() -> None:
+        stats = store.stats()
+        hits.labels(replica=replica).set_total(stats.hits)
+        misses.labels(replica=replica).set_total(stats.misses)
+        evictions.labels(replica=replica).set_total(stats.evictions)
+        entries.labels(replica=replica).set(stats.num_entries)
+        bytes_in_use.labels(replica=replica).set(stats.bytes_in_use)
+        hit_ratio.labels(replica=replica).set(stats.hit_rate)
+
+    return [registry.register_collector(collect, name=f"store-{replica}")]
+
+
+def bind_backend(
+    registry: MetricsRegistry, backend, replica: str = "0", role: str = "primary"
+) -> List[str]:
+    """Publish one backend's primitive counts and modelled/wall timings.
+
+    ``backend`` is anything with the :class:`repro.backends.Backend` counter
+    surface (``num_simulations``, ``modelled_simulation_time_s``, ...).  The
+    ``device`` label comes from the backend's cost-model name, so the
+    modelled-vs-measured comparison is per device; ``role`` distinguishes an
+    engine's primary backend from its cross-dispatch one.
+    """
+    labelnames = ("device", "replica", "role")
+    device = getattr(getattr(backend, "cost_model", None), "name", None) or getattr(
+        backend, "name", "unknown"
+    )
+    labels = {"device": str(device), "replica": replica, "role": role}
+
+    simulations = registry.counter(
+        "repro_backend_simulations_total",
+        "Circuit simulations accounted by the backend (batching-invariant).",
+        labelnames,
+    )
+    inner_products = registry.counter(
+        "repro_backend_inner_products_total",
+        "MPS inner products accounted by the backend (batching-invariant).",
+        labelnames,
+    )
+    encode_batches = registry.counter(
+        "repro_encode_batches_total",
+        "Stacked encode sweeps executed (simulate_batch calls that swept).",
+        labelnames,
+    )
+    encode_launches = registry.counter(
+        "repro_encode_launches_total",
+        "Stacked gate launches executed by the batched encode sweeps.",
+        labelnames,
+    )
+    prefix_forks = registry.counter(
+        "repro_encode_prefix_forks_total",
+        "Divergence points of the prefix-sharing encode tree.",
+        labelnames,
+    )
+    timing_gauges = {
+        key: registry.gauge(
+            f"repro_backend_{key}",
+            f"Accumulated backend {key.replace('_', ' ')} (cost-model vs measured).",
+            labelnames,
+        )
+        for key in (
+            "modelled_simulation_time_seconds",
+            "modelled_inner_product_time_seconds",
+            "modelled_batched_simulation_time_seconds",
+            "modelled_batched_inner_product_time_seconds",
+            "wall_simulation_time_seconds",
+            "wall_inner_product_time_seconds",
+        )
+    }
+
+    def collect() -> None:
+        # The engine resets the per-call counters before every public call;
+        # lifetime_summary() folds across those resets, which is the monotone
+        # view a counter family requires.  Raw attributes are the fallback
+        # for backend-likes without it.
+        if hasattr(backend, "lifetime_summary"):
+            summary = backend.lifetime_summary()
+        else:
+            summary = {
+                attr: getattr(backend, attr, 0)
+                for attr in (
+                    "num_simulations",
+                    "num_inner_products",
+                    "num_encode_batches",
+                    "num_encode_stacked_launches",
+                    "num_prefix_forks",
+                )
+            }
+        simulations.labels(**labels).set_total(summary["num_simulations"])
+        inner_products.labels(**labels).set_total(summary["num_inner_products"])
+        encode_batches.labels(**labels).set_total(summary["num_encode_batches"])
+        encode_launches.labels(**labels).set_total(
+            summary["num_encode_stacked_launches"]
+        )
+        prefix_forks.labels(**labels).set_total(summary["num_prefix_forks"])
+        for key, gauge in timing_gauges.items():
+            attr = key.replace("_seconds", "_s")
+            gauge.labels(**labels).set(summary.get(attr, getattr(backend, attr, 0.0)))
+
+    return [registry.register_collector(collect, name=f"backend-{replica}-{role}")]
+
+
+def bind_engine(registry: MetricsRegistry, engine, replica: str = "0") -> List[str]:
+    """Publish one kernel engine's store and backend(s)."""
+    names: List[str] = []
+    store = getattr(engine, "store", None)
+    if store is not None:
+        names.extend(bind_state_store(registry, store, replica=replica))
+    backend = getattr(engine, "backend", None)
+    if backend is not None:
+        names.extend(bind_backend(registry, backend, replica=replica, role="primary"))
+    cross = getattr(engine, "cross_backend", None)
+    if cross is not None:
+        names.extend(bind_backend(registry, cross, replica=replica, role="cross"))
+    return names
+
+
+def bind_router(registry: MetricsRegistry, router) -> List[str]:
+    """Publish a replica router's fleet counters plus every replica's queue.
+
+    ``router`` is anything with the :class:`repro.serving.ReplicaRouter`
+    surface (``metrics``, ``queues``, ``alive_replicas``, ``metrics_view``).
+    """
+    routed = registry.counter(
+        "repro_router_routed_total",
+        "Requests accepted and handed to a replica.",
+        ("replica",),
+    )
+    shed = registry.counter(
+        "repro_router_shed_total",
+        "Requests rejected by load shedding (every replica saturated).",
+    )
+    failovers = registry.counter(
+        "repro_router_failover_total",
+        "Requests re-routed off their policy-chosen replica.",
+    )
+    replicas_total = registry.gauge(
+        "repro_router_replicas", "Configured fleet size."
+    )
+    replicas_alive = registry.gauge(
+        "repro_router_alive_replicas", "Replicas currently accepting traffic."
+    )
+    warm_hit_ratio = registry.gauge(
+        "repro_router_warm_hit_ratio",
+        "Fraction of fleet cache interest served without a circuit simulation.",
+    )
+
+    def collect() -> None:
+        view = router.metrics_view()
+        for i, count in enumerate(view["routed_per_replica"]):
+            routed.labels(replica=str(i)).set_total(count)
+        shed.set_total(view["shed_count"])
+        failovers.set_total(view["failover_count"])
+        replicas_total.set(router.num_replicas)
+        replicas_alive.set(len(router.alive_replicas))
+        warm_hit_ratio.set(view.get("warm_hit_ratio", 0.0))
+
+    names = [registry.register_collector(collect, name="router")]
+    for i, queue in enumerate(router.queues):
+        names.extend(bind_queue(registry, queue, replica=str(i)))
+    return names
+
+
+def bind_classifier_coverage(
+    registry: MetricsRegistry, classifier
+) -> Optional[List[str]]:
+    """Publish a streaming classifier's rolling conformal-coverage gauge.
+
+    ``classifier`` is anything with ``rolling_coverage()`` /
+    ``feedback_count`` (the :class:`repro.approx.StreamingNystroemClassifier`
+    surface after ``attach_conformal``).  Coverage drifting below the
+    conformal guarantee is the live drift signal the adaptive control plane
+    will act on.
+    """
+    coverage = registry.gauge(
+        "repro_conformal_rolling_coverage",
+        "Rolling fraction of labelled feedback covered by the conformal sets.",
+    )
+    feedback = registry.counter(
+        "repro_conformal_feedback_total",
+        "Labelled feedback points recorded against the conformal sets.",
+    )
+
+    def collect() -> None:
+        feedback.set_total(getattr(classifier, "feedback_count", 0))
+        value = classifier.rolling_coverage()
+        coverage.set(0.0 if value is None else value)
+
+    return [registry.register_collector(collect, name="conformal-coverage")]

@@ -1,0 +1,445 @@
+"""Structured request tracing: spans, parent/child links, flamegraphs.
+
+One served request crosses four subsystems -- the queue (wait), the engine
+(encode, overlap), the classifier (score) and the state store (store-write)
+-- and until now no artifact tied those phases to one request.  The tracer
+closes that gap with the usual span model:
+
+* a **trace** is one causally linked unit of work (one coalesced flush and
+  the requests riding it), identified by a ``trace_id``;
+* a **span** is one named phase with a start/end time, an optional parent
+  span (child phases nest) and optional *links* to spans in other traces
+  (a flush links every coalesced request's root span, the batch-consumer
+  pattern);
+* the :class:`Tracer` keeps a bounded ring of recently *finished* traces
+  for the ``/traces/recent`` endpoint, renders any trace as a JSON span
+  dump (:meth:`Tracer.trace_dict`) or an indented text flamegraph
+  (:func:`render_trace_text`).
+
+**Zero cost when disabled** is a hard requirement: the global
+:data:`TRACER` starts disabled, every entry point checks ``enabled`` first
+(``span()`` returns a shared no-op context manager; ``mint_request``
+returns ``None``), and no instrumented hot path allocates anything.
+Tracing never participates in any computation, so enabling it cannot move
+a prediction by construction -- the invariance suite still pins it.
+
+Span and trace ids are drawn from a process-local monotone counter, so a
+deterministic workload yields a deterministic span topology (ids included),
+which is what lets tests assert on whole trace trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import TelemetryError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "render_trace_text",
+]
+
+
+class Span:
+    """One named phase of work inside a trace."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "end_s",
+        "attributes",
+        "links",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_s: float,
+        attributes: Optional[Dict] = None,
+        links: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attributes: Dict = dict(attributes or {})
+        #: (trace_id, span_id) references to causally related spans in
+        #: *other* traces -- e.g. a flush linking its coalesced requests.
+        self.links: List[Tuple[str, str]] = list(links or [])
+        self._tracer = tracer
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Span duration, or ``None`` while still open."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[str(key)] = value
+
+    def add_link(self, span: "Span") -> None:
+        self.links.append((span.trace_id, span.span_id))
+
+    def end(self, end_time: Optional[float] = None) -> None:
+        """Finish the span (idempotent) and hand it to the tracer's ring."""
+        if self.end_s is not None:
+            return
+        self.end_s = time.perf_counter() if end_time is None else float(end_time)
+        self._tracer._finish(self)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly span record."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_ms": (
+                None if self.duration_s is None else self.duration_s * 1e3
+            ),
+            "attributes": dict(self.attributes),
+            "links": [
+                {"trace_id": t, "span_id": s} for t, s in self.links
+            ],
+        }
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a child of the thread's current span."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        parent = self._tracer.current_span()
+        if parent is None:
+            span = self._tracer.start_trace(self._name, attributes=self._attributes)
+        else:
+            span = self._tracer.start_span(
+                self._name, parent, attributes=self._attributes
+            )
+        self._tracer._push(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.set_attribute("error", repr(exc))
+        self._tracer._pop(self._span)
+        self._span.end()
+        return False
+
+
+class _CurrentSpanScope:
+    """Temporarily makes an externally managed span the thread's current one."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Optional[Span]:
+        if self._span is not None:
+            self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None:
+            self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Span factory plus a bounded ring of finished traces.
+
+    Disabled by default: every recording entry point short-circuits on
+    ``enabled``, so instrumented hot paths cost one attribute read when
+    telemetry is off.  ``max_traces`` bounds the retained history (oldest
+    trace evicted first) so a long-lived service cannot grow its trace
+    buffer without bound.
+    """
+
+    def __init__(self, max_traces: int = 128) -> None:
+        if max_traces < 1:
+            raise TelemetryError(f"max_traces must be >= 1, got {max_traces}")
+        self.enabled = False
+        self.max_traces = int(max_traces)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        # trace_id -> finished spans, insertion-ordered for ring eviction.
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def enable(self, max_traces: Optional[int] = None) -> "Tracer":
+        """Turn recording on (optionally resizing the trace ring)."""
+        if max_traces is not None:
+            if max_traces < 1:
+                raise TelemetryError(f"max_traces must be >= 1, got {max_traces}")
+            self.max_traces = int(max_traces)
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Stop recording (already-captured traces remain readable)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded trace and restart the id counter."""
+        with self._lock:
+            self._traces.clear()
+            self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def _next_id(self, prefix: str) -> str:
+        return f"{prefix}{next(self._ids):08d}"
+
+    def start_trace(
+        self,
+        name: str,
+        start_time: Optional[float] = None,
+        attributes: Optional[Dict] = None,
+    ) -> Span:
+        """Open the root span of a brand-new trace."""
+        trace_id = self._next_id("t")
+        return Span(
+            self,
+            name,
+            trace_id=trace_id,
+            span_id=self._next_id("s"),
+            parent_id=None,
+            start_s=(
+                time.perf_counter() if start_time is None else float(start_time)
+            ),
+            attributes=attributes,
+        )
+
+    def start_span(
+        self,
+        name: str,
+        parent: Span,
+        start_time: Optional[float] = None,
+        attributes: Optional[Dict] = None,
+    ) -> Span:
+        """Open a child span inside ``parent``'s trace."""
+        return Span(
+            self,
+            name,
+            trace_id=parent.trace_id,
+            span_id=self._next_id("s"),
+            parent_id=parent.span_id,
+            start_s=(
+                time.perf_counter() if start_time is None else float(start_time)
+            ),
+            attributes=attributes,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        parent: Span,
+        start_s: float,
+        end_s: float,
+        attributes: Optional[Dict] = None,
+    ) -> Span:
+        """Record an already-elapsed phase (e.g. a request's queue wait)."""
+        span = self.start_span(name, parent, start_time=start_s, attributes=attributes)
+        span.end(end_s)
+        return span
+
+    def span(self, name: str, attributes: Optional[Dict] = None):
+        """Context manager for one phase under the thread's current span.
+
+        The instrumented hot paths call this unconditionally; when the
+        tracer is disabled it returns one shared no-op object, so the
+        disabled cost is a single attribute check and no allocation.
+        """
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return _SpanContext(self, name, attributes)
+
+    def use_span(self, span: Optional[Span]) -> _CurrentSpanScope:
+        """Make an externally created span current for nesting purposes."""
+        return _CurrentSpanScope(self, span)
+
+    def mint_request(
+        self, name: str, attributes: Optional[Dict] = None
+    ) -> Optional[Span]:
+        """Root span for one incoming request, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return self.start_trace(name, attributes=attributes)
+
+    # ------------------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        """The innermost span opened by this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1]
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    def _finish(self, span: Span) -> None:
+        if not self.enabled:
+            # Disabled after the span was opened: drop it rather than grow
+            # the ring while the operator believes tracing is off.
+            return
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                self._traces[span.trace_id] = spans = []
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            spans.append(span)
+
+    # ------------------------------------------------------------------
+    def trace_ids(self) -> List[str]:
+        """Recorded trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def trace_spans(self, trace_id: str) -> List[Span]:
+        """Finished spans of one trace, in finish order."""
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                raise TelemetryError(f"unknown trace id {trace_id!r}")
+            return list(spans)
+
+    def trace_dict(self, trace_id: str) -> Dict:
+        """One trace as a JSON-friendly span dump."""
+        spans = self.trace_spans(trace_id)
+        roots = [s for s in spans if s.parent_id is None]
+        return {
+            "trace_id": trace_id,
+            "root": roots[0].name if roots else None,
+            "num_spans": len(spans),
+            "spans": [span.to_dict() for span in spans],
+        }
+
+    def recent_traces(self, limit: int = 16) -> List[Dict]:
+        """The newest ``limit`` finished traces, newest first."""
+        if limit < 1:
+            raise TelemetryError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            ids = list(self._traces)[-limit:]
+        return [self.trace_dict(trace_id) for trace_id in reversed(ids)]
+
+
+def render_trace_text(spans: Sequence[Span], width: int = 32) -> str:
+    """Indented text flamegraph of one trace's spans.
+
+    Children nest under their parents; each line shows the phase name, its
+    duration, and a bar positioned on the trace's own timeline so phase
+    overlap (or the lack of it) is visible at a glance::
+
+        request · t00000001 · 12.40 ms
+          wait                   3.10 ms  |#####...........................|
+          flush                  9.10 ms  |........################........|
+    """
+    if not spans:
+        raise TelemetryError("cannot render an empty trace")
+    by_parent: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.start_s)
+    t0 = min(s.start_s for s in spans)
+    t1 = max(s.end_s if s.end_s is not None else s.start_s for s in spans)
+    extent = max(t1 - t0, 1e-9)
+    known = {s.span_id for s in spans}
+    roots = [
+        s
+        for s in spans
+        if s.parent_id is None or s.parent_id not in known
+    ]
+    roots.sort(key=lambda s: s.start_s)
+
+    lines: List[str] = []
+
+    def _bar(span: Span) -> str:
+        end = span.end_s if span.end_s is not None else span.start_s
+        lo = int(round((span.start_s - t0) / extent * width))
+        hi = int(round((end - t0) / extent * width))
+        hi = max(hi, lo + 1)
+        return "|" + "." * lo + "#" * (hi - lo) + "." * max(width - hi, 0) + "|"
+
+    def _walk(span: Span, depth: int) -> None:
+        duration = span.duration_s
+        duration_text = (
+            "   open   " if duration is None else f"{duration * 1e3:8.2f} ms"
+        )
+        name = "  " * depth + span.name
+        lines.append(f"  {name:<28} {duration_text}  {_bar(span)}")
+        for child in by_parent.get(span.span_id, []):
+            _walk(child, depth + 1)
+
+    header_root = roots[0] if roots else spans[0]
+    lines.insert(
+        0,
+        f"{header_root.name} · {header_root.trace_id} · "
+        f"{extent * 1e3:.2f} ms · {len(spans)} spans",
+    )
+    for root in roots:
+        _walk(root, 1)
+    return "\n".join(lines)
+
+
+#: The process-global tracer every instrumented subsystem records into.
+#: Disabled by default; ``TRACER.enable()`` (or the export server helpers)
+#: turns it on.
+TRACER = Tracer()

@@ -1,0 +1,148 @@
+"""Unit tests for the tracer: span trees, links, rings, flamegraphs."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import Tracer, render_trace_text
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer().enable()
+
+
+# ----------------------------------------------------------------------
+# Disabled-by-default contract
+# ----------------------------------------------------------------------
+def test_disabled_tracer_is_inert():
+    tracer = Tracer()
+    assert tracer.mint_request("r") is None
+    with tracer.span("phase") as span:
+        assert span is None
+    assert tracer.trace_ids() == []
+
+
+def test_disabled_span_context_is_shared_singleton():
+    tracer = Tracer()
+    assert tracer.span("a") is tracer.span("b")
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+def test_nested_spans_share_trace_and_link_parents(tracer):
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    spans = tracer.trace_spans(outer.trace_id)
+    assert [s.name for s in spans] == ["inner", "outer"]  # finish order
+    assert all(s.duration_s is not None and s.duration_s >= 0 for s in spans)
+
+
+def test_cross_thread_flush_topology(tracer):
+    """The queue's topology: roots minted on one thread, flush on another."""
+    roots = [tracer.mint_request("request") for _ in range(3)]
+
+    def consumer():
+        flush = tracer.start_span("flush", roots[0])
+        for other in roots[1:]:
+            flush.add_link(other)
+        with tracer.use_span(flush):
+            with tracer.span("score"):
+                pass
+        flush.end()
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    thread.join()
+    for root in roots:
+        root.end()
+
+    spans = {s.name: s for s in tracer.trace_spans(roots[0].trace_id)}
+    assert spans["flush"].parent_id == roots[0].span_id
+    assert spans["score"].parent_id == spans["flush"].span_id
+    linked = {trace for trace, _ in spans["flush"].links}
+    assert linked == {r.trace_id for r in roots[1:]}
+
+
+def test_record_span_backdates(tracer):
+    root = tracer.start_trace("request", start_time=10.0)
+    wait = tracer.record_span("wait", root, 10.0, 10.5)
+    root.end(11.0)
+    assert wait.duration_s == pytest.approx(0.5)
+    assert wait.parent_id == root.span_id
+
+
+def test_deterministic_ids(tracer):
+    a = tracer.start_trace("x")
+    b = tracer.start_trace("y")
+    assert a.trace_id == "t00000001"
+    assert b.trace_id == "t00000003"  # ids shared between traces and spans
+    tracer.reset()
+    assert tracer.start_trace("z").trace_id == "t00000001"
+
+
+def test_trace_ring_evicts_oldest():
+    tracer = Tracer(max_traces=2).enable()
+    ids = []
+    for i in range(4):
+        root = tracer.start_trace(f"r{i}")
+        root.end()
+        ids.append(root.trace_id)
+    assert tracer.trace_ids() == ids[-2:]
+    with pytest.raises(TelemetryError):
+        tracer.trace_spans(ids[0])
+
+
+def test_recent_traces_json_shape(tracer):
+    root = tracer.start_trace("request")
+    tracer.record_span("wait", root, root.start_s, root.start_s + 0.001)
+    root.end()
+    traces = tracer.recent_traces(limit=4)
+    assert len(traces) == 1
+    dump = traces[0]
+    assert dump["root"] == "request"
+    assert dump["num_spans"] == 2
+    names = {s["name"] for s in dump["spans"]}
+    assert names == {"request", "wait"}
+    for span in dump["spans"]:
+        assert span["duration_ms"] is not None
+
+
+def test_validation_errors():
+    with pytest.raises(TelemetryError):
+        Tracer(max_traces=0)
+    tracer = Tracer().enable()
+    with pytest.raises(TelemetryError):
+        tracer.recent_traces(limit=0)
+    with pytest.raises(TelemetryError):
+        tracer.trace_spans("t-nope")
+
+
+# ----------------------------------------------------------------------
+# Flamegraph rendering
+# ----------------------------------------------------------------------
+def test_render_trace_text_indents_children(tracer):
+    root = tracer.start_trace("request", start_time=0.0)
+    tracer.record_span("wait", root, 0.0, 0.3)
+    flush = tracer.start_span("flush", root, start_time=0.3)
+    tracer.record_span("score", flush, 0.35, 0.9)
+    flush.end(1.0)
+    root.end(1.0)
+    text = render_trace_text(tracer.trace_spans(root.trace_id))
+    lines = text.splitlines()
+    assert "request" in lines[0] and root.trace_id in lines[0]
+    # Children are indented deeper than their parents.
+    indent = {line.strip().split()[0]: len(line) - len(line.lstrip()) for line in lines[1:]}
+    assert indent["wait"] > indent["request"]
+    assert indent["score"] > indent["flush"] > indent["request"]
+    # Every rendered line carries a timeline bar.
+    assert all("|" in line for line in lines[1:])
+
+
+def test_render_trace_text_rejects_empty():
+    with pytest.raises(TelemetryError):
+        render_trace_text([])

@@ -33,6 +33,7 @@ counts), refresh the baselines and commit the diff::
     python benchmarks/bench_encoding.py --out BENCH_encoding.json
     python benchmarks/bench_encoding.py --scenario fused --out BENCH_fused.json
     python benchmarks/bench_serving.py  --scenario jitter --out BENCH_jitter.json --queries 160 --train-size 64 --landmarks 16 --unique 48
+    python benchmarks/bench_drift.py    --out BENCH_drift.json
     python benchmarks/check_regression.py --update-baselines
 
 Run with:  python benchmarks/check_regression.py [--bench-dir .] [--update-baselines]
@@ -153,6 +154,21 @@ METRIC_RULES: dict[str, list[Metric]] = {
         Metric("records[mode=cross-dispatch].chosen", "exact"),
         Metric("records[mode=cross-dispatch].pairs", "exact"),
         Metric("records[mode=cross-dispatch].gpu_inner_products", "exact"),
+    ],
+    "BENCH_drift.json": [
+        Metric("ok", "true"),
+        # The drift contract is behavioural, not wall-clock: the alarm must
+        # fire under the injected shift and stay silent under i.i.d.
+        # traffic, coverage must come back above 1 - alpha - 0.02 after the
+        # adaptation, the warm-started refresh must out-converge the cold
+        # fit, and the atomic swap must not drop or pause a single request.
+        Metric("alarm.fired", "true"),
+        Metric("iid.alarms", "exact"),
+        Metric("recovery.recovered", "true"),
+        Metric("refresh.warm_fewer_iterations", "true"),
+        Metric("serving.dropped_requests", "exact"),
+        Metric("serving.swaps", "exact"),
+        Metric("serving.final_model_version", "exact"),
     ],
     "BENCH_jitter.json": [
         Metric("ok", "true"),

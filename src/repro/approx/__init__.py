@@ -16,17 +16,22 @@ layered on the unified :class:`~repro.engine.KernelEngine`:
 * :mod:`~repro.approx.streaming` -- micro-batched classification of newly
   arriving points via one :class:`~repro.engine.plan.KernelRowPlan` against
   the cached landmark states (``m`` overlaps per query, constant memory in
-  ``n``).
+  ``n``);
+* :mod:`~repro.approx.drift` -- the online adaptation loop: a rolling
+  conformal-coverage alarm, shadow refits that grow the landmark set from
+  poorly reconstructed traffic, and atomic hot swaps into the serving tier.
 
 Wired through :class:`repro.core.QuantumKernelPipeline` (``approximation=``
 branch with rank sweeps), :class:`repro.core.QuantumKernelInferenceEngine`
 (Nystrom-backed serving) and :func:`repro.svm.model_selection.cross_validate_nystroem`.
 """
 
+from .drift import DriftAdaptation, DriftConfig, DriftController
 from .landmarks import (
     GreedyLandmarkSelector,
     KMeansLandmarkSelector,
     LandmarkSelector,
+    RidgeLeverageLandmarkSelector,
     UniformLandmarkSelector,
     available_landmark_strategies,
     get_landmark_selector,
@@ -42,6 +47,7 @@ __all__ = [
     "UniformLandmarkSelector",
     "KMeansLandmarkSelector",
     "GreedyLandmarkSelector",
+    "RidgeLeverageLandmarkSelector",
     "register_landmark_selector",
     "get_landmark_selector",
     "available_landmark_strategies",
@@ -52,4 +58,7 @@ __all__ = [
     "LinearSVC",
     "StreamingBatchResult",
     "StreamingNystroemClassifier",
+    "DriftConfig",
+    "DriftAdaptation",
+    "DriftController",
 ]

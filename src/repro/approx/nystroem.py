@@ -297,6 +297,46 @@ class NystroemFeatureMap:
         assert self.train_features_ is not None
         return self.train_features_
 
+    def fit_with_landmarks(
+        self, X: np.ndarray, landmark_rows: np.ndarray
+    ) -> "NystroemFeatureMap":
+        """Fit with an explicitly supplied landmark set, skipping selection.
+
+        The online drift path grows the landmark set from serving traffic
+        (rows whose reconstruction error exceeded a bound) and refits around
+        the grown set; those landmarks are decided by the controller, not a
+        selector over ``X``.  Everything after selection is identical to
+        :meth:`fit`: landmark Gram, cross block, jittered factorisation.
+        ``config.num_landmarks`` must match ``len(landmark_rows)`` (build the
+        map with ``dataclasses.replace(config, num_landmarks=...)``).
+        """
+        X = self.engine.validate_features(X)
+        rows = self.engine.validate_features(landmark_rows)
+        if rows.shape[0] != self.config.num_landmarks:
+            raise KernelError(
+                f"config expects {self.config.num_landmarks} landmarks but "
+                f"{rows.shape[0]} rows were supplied"
+            )
+        self.landmark_indices_ = None
+        self.landmark_rows_ = rows.copy()
+
+        gram_result = self.engine.gram(self.landmark_rows_)
+        self.report.absorb(gram_result)
+        K_mm = gram_result.matrix
+        states = list(gram_result.states)
+        if not states:
+            states = self.engine.encode_rows(self.landmark_rows_)
+        self.landmark_states_ = states
+        self.landmark_block_ = StackedStateBlock(states)
+
+        cross_result = self.engine.cross(X, self.landmark_states_)
+        self.report.absorb(cross_result)
+        K_nm = cross_result.matrix
+
+        self.normalization_ = self._factorise(K_mm)
+        self.train_features_ = K_nm @ self.normalization_
+        return self
+
     def _factorise(self, K_mm: np.ndarray) -> np.ndarray:
         """Jittered eigendecomposition -> ``U_r diag(lambda_r)^{-1/2}``."""
         m = K_mm.shape[0]

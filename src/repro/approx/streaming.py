@@ -235,9 +235,20 @@ class StreamingNystroemClassifier:
         the last ``window`` points -- the live drift gauge the telemetry
         endpoint exports as ``repro_conformal_rolling_coverage``.  Attaching
         never touches the scoring path: predictions stay byte-identical.
+
+        The wrapper must already be **calibrated**: an uncalibrated wrapper
+        would accept feedback here only to explode on the first
+        ``predict_set`` inside :meth:`record_feedback`, long after the
+        misconfiguration happened.  Rejecting it at attach time keeps the
+        failure at its cause.
         """
         if window < 1:
             raise SVMError(f"window must be >= 1, got {window}")
+        if conformal is None or not getattr(conformal, "is_calibrated", True):
+            raise SVMError(
+                "attach_conformal requires a calibrated conformal classifier; "
+                "call calibrate() on held-out scores first"
+            )
         self.conformal = conformal
         self._coverage_window = deque(maxlen=int(window))
         self.feedback_count = 0
@@ -326,6 +337,13 @@ class StreamingNystroemClassifier:
             deserialize_states(payload["landmark_payload"]),
             payload["normalization"],
         )
+        if payload.get("landmark_rows") is not None:
+            # The scaled landmark rows ride along (when the producer had
+            # them) so a drift controller attached to this replica can grow
+            # the landmark set without reaching back to the fitting process.
+            feature_map.landmark_rows_ = np.asarray(
+                payload["landmark_rows"], dtype=float
+            ).copy()
         return cls(
             feature_map,
             pickle.loads(payload["model_blob"]),
@@ -349,12 +367,14 @@ class StreamingNystroemClassifier:
 
         engine = self.feature_map.engine
         assert self.feature_map.normalization_ is not None
+        rows = self.feature_map.landmark_rows_
         return {
             "ansatz_kwargs": engine.ansatz.to_dict(),
             "simulation_kwargs": engine.backend.config.to_dict(),
             "backend_name": engine.backend.name,
             "landmark_payload": serialize_states(self.feature_map.landmark_states_),
             "normalization": np.asarray(self.feature_map.normalization_).copy(),
+            "landmark_rows": None if rows is None else np.asarray(rows).copy(),
             "model_blob": pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL),
             "scaler_blob": pickle.dumps(self.scaler, protocol=pickle.HIGHEST_PROTOCOL),
         }

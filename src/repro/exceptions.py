@@ -87,3 +87,8 @@ class PersistenceError(ServingError):
 
 class LoadShedError(ServingError):
     """Raised when the replica router rejects a request under overload."""
+
+
+class DriftError(ReproError):
+    """Raised by the online drift-adaptation controller (bad config, a
+    shadow fit without enough fresh labelled traffic, invalid swap)."""

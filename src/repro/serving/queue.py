@@ -26,6 +26,18 @@ is the contract the metamorphic test suite pins down, and it also makes the
 queue deterministic: two identical request streams produce identical outputs
 even though wall-clock timing batches them differently.
 
+The served model is **hot-swappable**: everything version-dependent
+(classifier, response memo, worker pool) lives in one immutable
+:class:`_ModelSlot` that a flush reads exactly once, and
+:meth:`AsyncServingQueue.swap_payload` installs a new slot atomically under
+the queue lock.  Serving is never paused -- requests keep coalescing during
+a swap, in-flight flushes complete against the slot they captured, and every
+:class:`ServedPrediction` records the ``model_version`` that produced it, so
+a request stream split across a swap is exactly the concatenation of
+old-model and new-model answers at the recorded version (the swap
+metamorphic suite pins this).  The drift controller's shadow-fit -> swap
+loop (:mod:`repro.approx.drift`) is the primary caller.
+
 Per-request latency, batch sizes, queue depth and throughput are recorded in
 a :class:`repro.profiling.ServingMetrics`.
 """
@@ -54,12 +66,19 @@ __all__ = ["ServedPrediction", "AsyncServingQueue"]
 
 @dataclass(frozen=True)
 class ServedPrediction:
-    """Result of one served request plus its queueing accounting."""
+    """Result of one served request plus its queueing accounting.
+
+    ``model_version`` identifies the model slot that scored the request --
+    0 for the queue's construction-time model, incremented by every
+    :meth:`AsyncServingQueue.swap_payload`.  A caller correlating answers
+    with a concurrent swap partitions the stream by this field.
+    """
 
     prediction: int
     decision_value: float
     latency_s: float
     batch_size: int
+    model_version: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -74,6 +93,34 @@ class _Pending:
     #: Root span of this request's trace, minted at submit() when the global
     #: tracer is enabled; ``None`` otherwise (the zero-cost default).
     span: Optional[Span] = None
+
+
+class _ModelSlot:
+    """One served model version: classifier, memo, worker pool, refcount.
+
+    Everything whose validity is tied to the model version lives here so a
+    flush can capture a single reference and stay internally consistent even
+    if a swap lands mid-score.  The memo is per-slot by construction --
+    answers memoised under one model must never be served under another.
+    ``active_flushes`` counts flushes currently scoring against this slot;
+    the swap path waits for it to reach zero before tearing down the slot's
+    worker pool (in-flight flushes complete against the old payload).
+    """
+
+    __slots__ = ("classifier", "version", "memo", "pool", "active_flushes")
+
+    def __init__(
+        self,
+        classifier: StreamingNystroemClassifier,
+        version: int,
+        memo: "OrderedDict[bytes, Tuple[int, float]] | None",
+        pool: Optional[ProcessPoolExecutor],
+    ) -> None:
+        self.classifier = classifier
+        self.version = version
+        self.memo = memo
+        self.pool = pool
+        self.active_flushes = 0
 
 
 class AsyncServingQueue:
@@ -139,30 +186,25 @@ class AsyncServingQueue:
             raise ServingError(f"wait_jitter_ms must be >= 0, got {wait_jitter_ms}")
         if memo_capacity < 1:
             raise ServingError(f"memo_capacity must be >= 1, got {memo_capacity}")
-        self.classifier = classifier
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.workers = int(workers)
         self.wait_jitter_s = float(wait_jitter_ms) / 1000.0
         self.rng = make_rng(seed)
         self.metrics = metrics if metrics is not None else ServingMetrics()
-        self._memo: "OrderedDict[bytes, Tuple[int, float]] | None" = (
-            OrderedDict() if memoize else None
-        )
+        self.memoize = bool(memoize)
         self.memo_capacity = int(memo_capacity)
         self.memo_hits = 0
+        self.swap_count = 0
         self._expected_features = (
             classifier.feature_map.engine.ansatz.num_features
         )
-
-        self._pool: Optional[ProcessPoolExecutor] = None
-        if self.workers >= 2:
-            payload = classifier.serving_payload()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=attach_shared_store,
-                initargs=(payload,),
-            )
+        self._slot = _ModelSlot(
+            classifier,
+            version=0,
+            memo=OrderedDict() if self.memoize else None,
+            pool=self._build_pool(classifier, None),
+        )
 
         self._cond = threading.Condition()
         self._pending: List[_Pending] = []
@@ -192,6 +234,106 @@ class AsyncServingQueue:
         """Whether the queue has stopped accepting requests."""
         with self._cond:
             return self._closed
+
+    @property
+    def classifier(self) -> StreamingNystroemClassifier:
+        """The currently active classifier (the latest installed slot's)."""
+        return self._slot.classifier
+
+    @property
+    def model_version(self) -> int:
+        """Version of the currently active model slot (0 at construction)."""
+        return self._slot.version
+
+    def _build_pool(
+        self, classifier: StreamingNystroemClassifier, payload: Optional[Dict]
+    ) -> Optional[ProcessPoolExecutor]:
+        """A fresh worker pool attached to this model, or ``None`` in-process."""
+        if self.workers < 2:
+            return None
+        if payload is None:
+            payload = classifier.serving_payload()
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=attach_shared_store,
+            initargs=(payload,),
+        )
+
+    # ------------------------------------------------------------------
+    def swap_payload(self, payload: Dict, version: int | None = None) -> int:
+        """Atomically install a new served model from a serving payload.
+
+        The replacement classifier is rebuilt around the **current engine's
+        state store** (persistent or in-memory), so warm cache entries and
+        durable snapshots survive the swap -- the engine fingerprint is
+        unchanged because a swap may only change the model parts (landmarks,
+        normalisation, linear model, scaler), never the ansatz or simulation
+        config.  See :meth:`swap_model` for the swap semantics.
+        """
+        store = self._slot.classifier.feature_map.engine.store
+        classifier = StreamingNystroemClassifier.from_serving_payload(
+            payload, buffer_size=self.max_batch, store=store
+        )
+        return self.swap_model(classifier, version=version, _payload=payload)
+
+    def swap_model(
+        self,
+        classifier: StreamingNystroemClassifier,
+        version: int | None = None,
+        _payload: Optional[Dict] = None,
+    ) -> int:
+        """Atomically swap the served model; returns the new version.
+
+        Serving is never paused: the new slot (classifier, fresh memo, and
+        -- with ``workers >= 2`` -- a fresh worker pool attached to the new
+        payload) is fully constructed *before* the installation, which is a
+        single reference assignment under the queue lock.  Flushes that
+        captured the old slot complete against the old payload; every later
+        flush scores against the new one and stamps the new
+        ``model_version`` on its results.  The old pool is torn down only
+        after its last in-flight flush finishes.
+
+        ``version`` defaults to the current version + 1 and must be strictly
+        monotone -- a stale controller replaying an old swap is rejected
+        instead of silently rolling the model back.
+        """
+        if not classifier.feature_map.is_fitted:
+            raise ServingError("swap requires a fitted replacement classifier")
+        expected = classifier.feature_map.engine.ansatz.num_features
+        if expected != self._expected_features:
+            raise ServingError(
+                f"replacement model expects {expected} features but the "
+                f"queue serves {self._expected_features}"
+            )
+        new_pool = self._build_pool(classifier, _payload)
+        with TRACER.span("serving.swap") as span:
+            with self._cond:
+                if self._closed:
+                    raise ServingError("serving queue is closed")
+                old = self._slot
+                new_version = old.version + 1 if version is None else int(version)
+                if new_version <= old.version:
+                    raise ServingError(
+                        f"swap version must exceed the active version "
+                        f"{old.version}, got {new_version}"
+                    )
+                self._slot = _ModelSlot(
+                    classifier,
+                    version=new_version,
+                    memo=OrderedDict() if self.memoize else None,
+                    pool=new_pool,
+                )
+                self.swap_count += 1
+                # In-flight flushes complete against the old payload; wait
+                # them out before the old pool (their compute substrate) is
+                # shut down.  New requests already score on the new slot.
+                while old.active_flushes > 0:
+                    self._cond.wait()
+            if span is not None:
+                span.set_attribute("version", new_version)
+        if old.pool is not None:
+            old.pool.shutdown(wait=True)
+        return new_version
 
     # ------------------------------------------------------------------
     def submit(self, row: np.ndarray) -> "Future[ServedPrediction]":
@@ -256,9 +398,9 @@ class AsyncServingQueue:
             self._closed = True
             self._cond.notify_all()
         self._thread.join()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        if self._slot.pool is not None:
+            self._slot.pool.shutdown(wait=True)
+            self._slot.pool = None
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
@@ -298,6 +440,13 @@ class AsyncServingQueue:
 
     def _process(self, batch: List[_Pending]) -> None:
         start = time.perf_counter()
+        # Capture the active model slot exactly once: classifier, memo and
+        # pool stay mutually consistent for this whole flush even if a swap
+        # installs a new slot mid-score, and the slot's refcount keeps its
+        # pool alive until the flush completes.
+        with self._cond:
+            slot = self._slot
+            slot.active_flushes += 1
         flush_span: Optional[Span] = None
         if TRACER.enabled:
             roots = [p.span for p in batch if p.span is not None]
@@ -320,7 +469,7 @@ class AsyncServingQueue:
         try:
             with TRACER.use_span(flush_span):
                 with TRACER.span("serving.score") as score_span:
-                    outputs = self._score_batch(batch)
+                    outputs = self._score_batch(batch, slot)
                     if score_span is not None:
                         score_span.set_attribute("batch_size", len(batch))
         except Exception as exc:  # propagate to every waiting caller
@@ -334,6 +483,8 @@ class AsyncServingQueue:
                 p.future.set_exception(exc)
             with self._cond:
                 self._in_flight = []
+                slot.active_flushes -= 1
+                self._cond.notify_all()
             return
         now = time.perf_counter()
         latencies = [now - p.enqueued_at for p in batch]
@@ -350,22 +501,29 @@ class AsyncServingQueue:
                     decision_value=decision,
                     latency_s=latencies[i],
                     batch_size=len(batch),
+                    model_version=slot.version,
                 )
             )
         with self._cond:
             self._in_flight = []
+            slot.active_flushes -= 1
+            self._cond.notify_all()
         self.metrics.record_batch(latencies, now - start, now)
 
-    def _score_batch(self, batch: List[_Pending]) -> List[Tuple[int, float]]:
+    def _score_batch(
+        self, batch: List[_Pending], slot: _ModelSlot
+    ) -> List[Tuple[int, float]]:
         """(prediction, decision value) per request, memo-aware.
 
-        Scoring is a pure function of the raw row, so memo hits return the
-        byte-exact output a fresh compute would; only the memo-miss rows go
-        through the classifier (one coalesced plan, possibly fanned out over
-        the worker pool).
+        Scoring is a pure function of the raw row *and the model slot*, so
+        memo hits return the byte-exact output a fresh compute under the
+        same slot would; only the memo-miss rows go through the classifier
+        (one coalesced plan, possibly fanned out over the slot's worker
+        pool).  The memo lives on the slot, never the queue: answers
+        memoised under one model version are unreachable after a swap.
         """
-        if self._memo is None:
-            result = self._classify_rows(np.vstack([p.row for p in batch]))
+        if slot.memo is None:
+            result = self._classify_rows(np.vstack([p.row for p in batch]), slot)
             return [
                 (int(result.predictions[i]), float(result.decision_values[i]))
                 for i in range(len(batch))
@@ -375,9 +533,9 @@ class AsyncServingQueue:
         miss_indices: List[int] = []
         miss_keys: Dict[bytes, int] = {}
         for i, key in enumerate(keys):
-            hit = self._memo.get(key)
+            hit = slot.memo.get(key)
             if hit is not None:
-                self._memo.move_to_end(key)
+                slot.memo.move_to_end(key)
                 self.memo_hits += 1
                 outputs[i] = hit
             elif key not in miss_keys:
@@ -386,7 +544,7 @@ class AsyncServingQueue:
                 miss_indices.append(i)
         if miss_indices:
             result = self._classify_rows(
-                np.vstack([batch[i].row for i in miss_indices])
+                np.vstack([batch[i].row for i in miss_indices]), slot
             )
             fresh = {
                 key: (
@@ -396,36 +554,36 @@ class AsyncServingQueue:
                 for key, local in miss_keys.items()
             }
             for key, value in fresh.items():
-                self._memo[key] = value
-            while len(self._memo) > self.memo_capacity:
-                self._memo.popitem(last=False)
+                slot.memo[key] = value
+            while len(slot.memo) > self.memo_capacity:
+                slot.memo.popitem(last=False)
             for i, key in enumerate(keys):
                 if outputs[i] is None:
                     outputs[i] = fresh[key]
         return [out for out in outputs if out is not None]
 
-    def _classify_rows(self, rows: np.ndarray):
+    def _classify_rows(self, rows: np.ndarray, slot: _ModelSlot):
         # Either path encodes the batch's cache-miss rows in one stacked
         # sweep (in-process via the classifier's engine; distributed via each
         # worker's attached-store engine on its row block).
-        if self._pool is not None and rows.shape[0] >= 2:
-            return self._classify_distributed(rows)
-        return self.classifier.classify(rows)
+        if slot.pool is not None and rows.shape[0] >= 2:
+            return self._classify_distributed(rows, slot)
+        return slot.classifier.classify(rows)
 
-    def _classify_distributed(self, rows: np.ndarray):
-        """Fan one batch's kernel rows out over the worker pool.
+    def _classify_distributed(self, rows: np.ndarray, slot: _ModelSlot):
+        """Fan one batch's kernel rows out over the slot's worker pool.
 
         Scaling happens once here (element-wise, hence batch-invariant), the
         workers compute their block's landmark overlaps against the attached
         store, and the assembled rows are scored through the classifier's
         row-wise path -- bit-identical to an in-process ``classify``.
         """
-        assert self._pool is not None
-        Xs = self.classifier.scale(rows)
+        assert slot.pool is not None
+        Xs = slot.classifier.scale(rows)
         num_blocks = min(self.workers, Xs.shape[0])
         blocks = partition_indices(Xs.shape[0], num_blocks)
         futures = [
-            self._pool.submit(shared_store_kernel_rows, Xs[block]) for block in blocks
+            slot.pool.submit(shared_store_kernel_rows, Xs[block]) for block in blocks
         ]
         kernel_rows = np.vstack([f.result() for f in futures])
-        return self.classifier.classify_kernel_rows(kernel_rows)
+        return slot.classifier.classify_kernel_rows(kernel_rows)

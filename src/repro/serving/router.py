@@ -236,6 +236,7 @@ class ReplicaRouter:
             )
             self._alive.append(True)
         self.metrics = RouterMetrics(replica_metrics)
+        self.swap_count = 0
         self._expected_features = self._queues[0].classifier.feature_map.engine.ansatz.num_features
 
     # ------------------------------------------------------------------
@@ -353,6 +354,53 @@ class ReplicaRouter:
         for i, queue in enumerate(self._queues):
             if self._alive[i]:
                 queue.flush()
+
+    # ------------------------------------------------------------------
+    @property
+    def model_version(self) -> int:
+        """The fleet's model version: the maximum over alive replicas.
+
+        Between :meth:`swap_payload` calls every alive replica agrees on the
+        version; during one the maximum is the version being rolled out.
+        """
+        with self._lock:
+            alive = [i for i, ok in enumerate(self._alive) if ok]
+        if not alive:
+            raise ServingError("every replica is dead; router has no model")
+        return max(self._queues[i].model_version for i in alive)
+
+    def swap_payload(self, payload: Dict, version: int | None = None) -> int:
+        """Roll one new serving payload out across every alive replica.
+
+        Each replica performs its own atomic
+        :meth:`AsyncServingQueue.swap_payload` -- in-flight flushes complete
+        against the old model, queued requests score under the new one -- so
+        the fleet keeps serving throughout the rollout.  Every replica is
+        installed at the **same** fleet version (one more than the current
+        fleet maximum unless ``version`` is given), which is what lets the
+        metamorphic suite partition a request stream by the
+        ``model_version`` stamped on each prediction.  Returns the installed
+        version.
+        """
+        with self._lock:
+            alive = [i for i, ok in enumerate(self._alive) if ok]
+        if not alive:
+            raise ServingError("every replica is dead; router cannot swap")
+        current = max(self._queues[i].model_version for i in alive)
+        new_version = current + 1 if version is None else int(version)
+        if new_version <= current:
+            raise ServingError(
+                f"swap version {new_version} must be greater than the fleet "
+                f"version {current}"
+            )
+        with TRACER.span("serving.fleet_swap") as sp:
+            for index in alive:
+                self._queues[index].swap_payload(payload, version=new_version)
+            if sp is not None:
+                sp.set_attribute("version", new_version)
+                sp.set_attribute("replicas", len(alive))
+        self.swap_count += 1
+        return new_version
 
     # ------------------------------------------------------------------
     def kill_replica(self, index: int) -> None:

@@ -26,6 +26,7 @@ from .export import TelemetryServer, attach_endpoint
 from .instrument import (
     bind_backend,
     bind_classifier_coverage,
+    bind_drift_controller,
     bind_engine,
     bind_queue,
     bind_router,
@@ -61,4 +62,5 @@ __all__ = [
     "bind_backend",
     "bind_engine",
     "bind_classifier_coverage",
+    "bind_drift_controller",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "bind_backend",
     "bind_engine",
     "bind_classifier_coverage",
+    "bind_drift_controller",
 ]
 
 #: Batch sizes are small integers; powers of two up to a generous max batch.
@@ -94,6 +95,16 @@ def bind_queue(
         "Completed requests per second of observed serving time.",
         ("replica",),
     )
+    model_version = registry.gauge(
+        "repro_serving_model_version",
+        "Version of the model slot currently answering requests.",
+        ("replica",),
+    )
+    swaps = registry.counter(
+        "repro_serving_swaps_total",
+        "Atomic model swaps installed on the serving queue.",
+        ("replica",),
+    )
 
     def collect() -> None:
         metrics = queue.metrics
@@ -109,6 +120,10 @@ def bind_queue(
         latency.labels(replica=replica).replace(metrics.latency_samples())
         batch_size.labels(replica=replica).replace(metrics.batch_size_samples())
         throughput.labels(replica=replica).set(snapshot.get("throughput_rps", 0.0))
+        model_version.labels(replica=replica).set(
+            getattr(queue, "model_version", 0)
+        )
+        swaps.labels(replica=replica).set_total(getattr(queue, "swap_count", 0))
 
     names = [registry.register_collector(collect, name=f"queue-{replica}")]
     engine = getattr(
@@ -349,3 +364,58 @@ def bind_classifier_coverage(
         coverage.set(0.0 if value is None else value)
 
     return [registry.register_collector(collect, name="conformal-coverage")]
+
+
+def bind_drift_controller(
+    registry: MetricsRegistry, controller
+) -> List[str]:
+    """Publish the drift-adaptation control loop's state.
+
+    ``controller`` is anything with the
+    :class:`repro.approx.DriftController` surface: ``rolling_coverage()``,
+    ``feedback_count``, ``alarm_active``, ``alarm_count``, ``refit_count``,
+    ``swap_count``, ``buffered_samples``.  Together with the per-replica
+    ``repro_serving_model_version`` gauge these four counters tell the whole
+    adaptation story on a dashboard: coverage dips, the alarm latches, a
+    refit and a swap land, coverage recovers.
+    """
+    coverage = registry.gauge(
+        "repro_drift_rolling_coverage",
+        "Rolling conformal coverage observed by the drift controller.",
+    )
+    alarm = registry.gauge(
+        "repro_drift_alarm_active",
+        "Whether the drift alarm is currently latched (1) or armed (0).",
+    )
+    alarms = registry.counter(
+        "repro_drift_alarms_total",
+        "Times the rolling coverage crossed below the hysteresis band.",
+    )
+    refits = registry.counter(
+        "repro_drift_refits_total",
+        "Shadow refits completed by the drift controller.",
+    )
+    swaps = registry.counter(
+        "repro_drift_swaps_total",
+        "Adapted models installed into the serving tier.",
+    )
+    feedback = registry.counter(
+        "repro_drift_feedback_total",
+        "Labelled feedback points ingested by the drift controller.",
+    )
+    buffered = registry.gauge(
+        "repro_drift_buffered_samples",
+        "Labelled rows currently buffered as shadow-fit material.",
+    )
+
+    def collect() -> None:
+        value = controller.rolling_coverage()
+        coverage.set(0.0 if value is None else value)
+        alarm.set(1.0 if getattr(controller, "alarm_active", False) else 0.0)
+        alarms.set_total(getattr(controller, "alarm_count", 0))
+        refits.set_total(getattr(controller, "refit_count", 0))
+        swaps.set_total(getattr(controller, "swap_count", 0))
+        feedback.set_total(getattr(controller, "feedback_count", 0))
+        buffered.set(getattr(controller, "buffered_samples", 0))
+
+    return [registry.register_collector(collect, name="drift-controller")]

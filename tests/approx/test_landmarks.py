@@ -5,6 +5,7 @@ import pytest
 
 from repro.approx import (
     GreedyLandmarkSelector,
+    RidgeLeverageLandmarkSelector,
     available_landmark_strategies,
     get_landmark_selector,
     register_landmark_selector,
@@ -19,7 +20,7 @@ def X(rng):
     return rng.uniform(0.0, 2.0, size=(40, 5))
 
 
-@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy"])
+@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy", "ridge-leverage"])
 def test_selectors_return_valid_indices(strategy, X):
     idx = select_landmarks(X, 8, strategy=strategy, seed=3)
     assert idx.shape == (8,)
@@ -28,7 +29,7 @@ def test_selectors_return_valid_indices(strategy, X):
     assert np.array_equal(idx, np.sort(idx))
 
 
-@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy"])
+@pytest.mark.parametrize("strategy", ["uniform", "kmeans", "greedy", "ridge-leverage"])
 def test_selectors_are_deterministic_given_seed(strategy, X):
     a = select_landmarks(X, 10, strategy=strategy, seed=7)
     b = select_landmarks(X, 10, strategy=strategy, seed=7)
@@ -64,8 +65,42 @@ def test_validation_errors(X):
         select_landmarks(X, 4, strategy="no-such-strategy")
 
 
+def test_ridge_leverage_rejects_nonpositive_lam():
+    with pytest.raises(KernelError):
+        RidgeLeverageLandmarkSelector(lam=0.0)
+    with pytest.raises(KernelError):
+        RidgeLeverageLandmarkSelector(lam=-1e-3)
+
+
+def test_ridge_leverage_scores_peak_on_isolated_points(rng):
+    """A point far from a tight cluster carries more of the kernel's
+    effective dimension than any cluster member, so its leverage score must
+    dominate -- the property that makes the selector grow the landmark set
+    toward the *shifted* region of drifted traffic."""
+    cluster = rng.normal(scale=0.05, size=(30, 4))
+    outlier = np.full((1, 4), 5.0)
+    X = np.vstack([cluster, outlier])
+    scores = RidgeLeverageLandmarkSelector().leverage_scores(X)
+    assert scores.shape == (31,)
+    assert np.all(scores > 0)
+    assert scores[-1] > scores[:-1].max()
+
+
+def test_ridge_leverage_handles_degenerate_pool():
+    """An all-identical pool has no median bandwidth; the selector must
+    still return a valid (uniform-scored) choice instead of dividing by
+    zero."""
+    X = np.ones((12, 3))
+    scores = RidgeLeverageLandmarkSelector().leverage_scores(X)
+    assert np.allclose(scores, scores[0])
+    idx = select_landmarks(X, 4, strategy="ridge-leverage", seed=0)
+    assert idx.shape == (4,)
+
+
 def test_registry_round_trip(X):
-    assert {"uniform", "kmeans", "greedy"} <= set(available_landmark_strategies())
+    assert {"uniform", "kmeans", "greedy", "ridge-leverage"} <= set(
+        available_landmark_strategies()
+    )
 
     class FirstK(UniformLandmarkSelector):
         name = "first-k"

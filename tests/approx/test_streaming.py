@@ -119,3 +119,58 @@ def test_submit_rejects_malformed_rows_without_poisoning_buffer(served):
     assert clf.pending == 1
     out = clf.flush()
     assert out is not None and out.num_points == 1
+
+
+# ----------------------------------------------------------------------
+# Conformal feedback wiring: misconfiguration must fail at its cause, not
+# deep inside the serving loop (regression tests for the drift path).
+# ----------------------------------------------------------------------
+def test_record_feedback_before_attach_raises(served):
+    from repro.exceptions import ReproError, SVMError
+
+    fmap, model, scaler, X_test = served
+    clf = StreamingNystroemClassifier(fmap, model, scaler=scaler)
+    with pytest.raises(SVMError, match="attach_conformal"):
+        clf.record_feedback(np.array([0.5, -0.5]), [1, 0])
+    # The drift controller catches ReproError; the gap this pins is that an
+    # unattached classifier used to surface a bare AttributeError instead.
+    assert issubclass(SVMError, ReproError)
+
+
+def test_attach_conformal_rejects_uncalibrated(served):
+    from repro.exceptions import SVMError
+    from repro.svm import SplitConformalClassifier
+
+    fmap, model, scaler, X_test = served
+    clf = StreamingNystroemClassifier(fmap, model, scaler=scaler)
+    with pytest.raises(SVMError, match="calibrated"):
+        clf.attach_conformal(SplitConformalClassifier(alpha=0.1))
+    with pytest.raises(SVMError, match="calibrated"):
+        clf.attach_conformal(None)
+    with pytest.raises(SVMError, match="window"):
+        clf.attach_conformal(
+            SplitConformalClassifier(alpha=0.1).calibrate(
+                np.linspace(-2, 2, 20), np.tile([0, 1], 10)
+            ),
+            window=0,
+        )
+
+
+def test_record_feedback_validates_batch(served):
+    from repro.exceptions import SVMError
+    from repro.svm import SplitConformalClassifier
+
+    fmap, model, scaler, X_test = served
+    clf = StreamingNystroemClassifier(fmap, model, scaler=scaler)
+    clf.attach_conformal(
+        SplitConformalClassifier(alpha=0.1).calibrate(
+            np.linspace(-2, 2, 20), np.tile([0, 1], 10)
+        )
+    )
+    with pytest.raises(SVMError, match="labels"):
+        clf.record_feedback(np.array([0.5, -0.5]), [1])
+    with pytest.raises(SVMError, match="at least one"):
+        clf.record_feedback(np.array([]), [])
+    coverage = clf.record_feedback(np.array([3.0, -3.0]), [1, 0])
+    assert coverage == 1.0
+    assert clf.feedback_count == 2

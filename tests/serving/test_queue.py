@@ -123,7 +123,7 @@ def test_memo_hits_and_capacity(served_engine, queries):
             futures = queue.submit_many(queries[:2])
             [f.result(timeout=10) for f in futures]
         assert queue.memo_hits >= 2
-        assert len(queue._memo) <= 2
+        assert len(queue._slot.memo) <= 2
 
 
 def test_memo_can_be_disabled(served_engine, queries):

@@ -1,0 +1,477 @@
+"""Adaptive control plane benchmark: closed-loop tuning vs fixed knobs.
+
+Every serving mode is stood up through the new one-call surface --
+``repro.serve(payload, ServingConfig(...))`` -- and pushed through the same
+three-phase traffic trace, the shapes that defeat any single static tuning:
+
+* **steady**: paced Zipf-distributed requests (the latency-sensitive
+  regime -- a long flush deadline just adds wait);
+* **burst**: rounds of correlated arrivals with idle gaps between them;
+* **flood**: a wall of unique cold rows all at once (the throughput
+  regime -- a small batch pays its per-flush overhead hundreds of times).
+
+Modes: ``static-small`` (latency-tuned knobs, terrible in the flood),
+``static-large`` (throughput-tuned knobs, terrible in the steady phase),
+``adaptive`` (starts from the *small* knobs with the depth-proportional
+policy; the controller is stepped at fixed points in the submission
+schedule, so its decisions are driven by queue state, not wall-clock luck),
+and ``adaptive-fleet`` (the same loop steering a 2-replica router).  Every
+mode gets a freshly fitted engine with identical seeds and must produce
+**byte-identical** decision values -- the control plane's metamorphic
+contract: knobs move *when* work happens, never *what* it computes.
+
+The acceptance contract (exit non-zero on violation):
+
+* byte-identical decisions across all modes and the isolated classifier;
+* the adaptive loop actually adapts (adjustments > 0, and the flood drives
+  ``max_batch`` up from its small start);
+* steady-phase p99: adaptive strictly beats the worst static mode;
+* whole-run p99: adaptive strictly beats the worst static mode and stays
+  within ``--best-margin`` of the best one -- one knob set, no phase lost;
+* zero dropped requests anywhere (every accepted future resolves), and the
+  shed probe sheds exactly its configured overflow, nothing more;
+* the adaptive mode's ``/metrics`` endpoint exports the control families
+  (knob gauges, step/adjustment counters).
+
+Run with:  python benchmarks/bench_control.py [--out BENCH_control.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import __version__, serve
+from repro.approx import NystroemConfig
+from repro.config import AnsatzConfig, ServingConfig, TuningConfig
+from repro.core import QuantumKernelInferenceEngine
+from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
+from repro.exceptions import LoadShedError
+
+
+def build_engine(args) -> QuantumKernelInferenceEngine:
+    """One freshly fitted Nystrom-backed engine (deterministic per seed)."""
+    data = balanced_subsample(
+        generate_elliptic_like(
+            DatasetSpec(
+                num_samples=6 * args.train_size,
+                num_features=args.features,
+                positive_fraction=0.4,
+                seed=7 + args.seed,
+            )
+        ),
+        args.train_size,
+        seed=3 + args.seed,
+    )
+    ansatz = AnsatzConfig(
+        num_features=args.features, interaction_distance=1, layers=2, gamma=0.5
+    )
+    engine = QuantumKernelInferenceEngine(
+        ansatz,
+        approximation=NystroemConfig(
+            num_landmarks=args.landmarks, strategy="greedy", seed=0
+        ),
+    )
+    engine.fit(data.features, data.labels)
+    return engine
+
+
+def build_trace(args) -> dict[str, np.ndarray]:
+    """The three-phase trace, identical for every mode (fixed seeds)."""
+    rng = np.random.default_rng(5 + args.seed)
+    unique = rng.normal(size=(args.unique, args.features))
+    weights = 1.0 / np.arange(1, args.unique + 1)
+    weights /= weights.sum()
+    steady = unique[rng.choice(args.unique, size=args.steady, p=weights)]
+    burst = unique[rng.choice(args.unique, size=args.burst, p=weights)]
+    # The flood is all-new rows: every one must genuinely encode, so the
+    # batch-size knob (not the memo) decides how fast it drains.
+    flood = rng.normal(size=(args.flood, args.features))
+    return {"steady": steady, "burst": burst, "flood": flood}
+
+
+SMALL = dict(max_batch=2, max_wait_ms=1.0)
+LARGE = dict(max_batch=48, max_wait_ms=25.0)
+
+
+def make_config(args, mode: str) -> ServingConfig:
+    bounds = dict(
+        min_batch=1,
+        batch_ceiling=LARGE["max_batch"],
+        min_wait_ms=0.5,
+        wait_ceiling_ms=LARGE["max_wait_ms"],
+    )
+    if mode == "static-small":
+        return ServingConfig(tuning=TuningConfig(**SMALL, **bounds))
+    if mode == "static-large":
+        return ServingConfig(tuning=TuningConfig(**LARGE, **bounds))
+    # Adaptive modes start from the *small* (latency-tuned) knobs and must
+    # discover the flood's throughput regime on their own.
+    return ServingConfig(
+        tuning=TuningConfig(**SMALL, **bounds),
+        control_policy="depth-proportional",
+        num_replicas=2 if mode == "adaptive-fleet" else 1,
+    )
+
+
+def _aggressive(controller) -> None:
+    """Benchmark damping: react every step, apply any clamped move."""
+    controller.cooldown_steps = 0
+    controller.deadband = 0.0
+
+
+def _resolve(futures, drop_counter: list) -> list:
+    """Resolve accepted futures; a future that dies is a *dropped* request."""
+    results = []
+    for future in futures:
+        try:
+            results.append(future.result(timeout=600))
+        except Exception:
+            drop_counter[0] += 1
+    return results
+
+
+def _phase_stats(results) -> dict:
+    latencies = np.array([r.latency_s for r in results]) * 1e3
+    return {
+        "requests": len(results),
+        "p50_latency_ms": float(np.percentile(latencies, 50.0)),
+        "p99_latency_ms": float(np.percentile(latencies, 99.0)),
+        "mean_batch_size": float(np.mean([r.batch_size for r in results])),
+    }
+
+
+def run_mode(args, trace: dict, mode: str) -> tuple[np.ndarray, dict]:
+    """One mode over the full trace; adaptive modes step on the schedule."""
+    config = make_config(args, mode)
+    adaptive = config.control_policy != "static"
+    handle = serve(
+        build_engine(args).serving_payload(),
+        config,
+        telemetry=(mode == "adaptive"),
+        memoize=False,  # every request computes: latency differences are real
+    )
+    controller = handle.controller
+    if adaptive:
+        _aggressive(controller)
+    phases: dict[str, dict] = {}
+    all_results = []
+    drops = [0]
+    start = time.perf_counter()
+    try:
+        # Phase 1 -- steady: paced arrivals, stepped every --step-every.
+        pace_s = args.pace_ms / 1e3
+        futures = []
+        phase_start = time.perf_counter()
+        for i, row in enumerate(trace["steady"]):
+            futures.append(handle.submit(row))
+            if adaptive and (i + 1) % args.step_every == 0:
+                controller.step()
+            time.sleep(pace_s)
+        steady_results = _resolve(futures, drops)
+        phases["steady"] = _phase_stats(steady_results)
+        phases["steady"]["wall_s"] = time.perf_counter() - phase_start
+
+        # Phase 2 -- burst: correlated rounds with idle gaps.
+        futures = []
+        phase_start = time.perf_counter()
+        for round_rows in np.array_split(trace["burst"], args.burst_rounds):
+            futures.extend(handle.submit_many(round_rows))
+            if adaptive:
+                controller.step()
+            handle.flush()
+            time.sleep(pace_s)
+        burst_results = _resolve(futures, drops)
+        phases["burst"] = _phase_stats(burst_results)
+        phases["burst"]["wall_s"] = time.perf_counter() - phase_start
+
+        # Phase 3 -- flood: everything at once, stepped while draining so
+        # the loop sees the standing queue and can grow the batch.
+        phase_start = time.perf_counter()
+        futures = handle.submit_many(trace["flood"])
+        flood_results = []
+        peak_max_batch = config.tuning.max_batch
+        for i, future in enumerate(futures):
+            if adaptive and i % args.step_every == 0:
+                controller.step()
+                peak_max_batch = max(
+                    peak_max_batch, controller.current_knobs()["max_batch"]
+                )
+            flood_results.extend(_resolve([future], drops))
+        phases["flood"] = _phase_stats(flood_results)
+        phases["flood"]["wall_s"] = time.perf_counter() - phase_start
+        phases["flood"]["throughput_rps"] = (
+            len(flood_results) / phases["flood"]["wall_s"]
+        )
+
+        all_results = steady_results + burst_results + flood_results
+        control_families = None
+        if mode == "adaptive":
+            with urllib.request.urlopen(
+                handle.url + "/metrics", timeout=30
+            ) as resp:
+                text = resp.read().decode()
+            control_families = sorted(
+                {
+                    line.split(" ")[2]
+                    for line in text.splitlines()
+                    if line.startswith("# TYPE repro_control_")
+                }
+            )
+        summary = controller.summary()
+    finally:
+        handle.close()
+
+    elapsed = time.perf_counter() - start
+    latencies = np.array([r.latency_s for r in all_results]) * 1e3
+    decisions = np.array([r.decision_value for r in all_results])
+    record = {
+        "mode": mode,
+        "policy": config.control_policy,
+        "num_replicas": config.num_replicas,
+        "initial_max_batch": config.tuning.max_batch,
+        "peak_max_batch": peak_max_batch,
+        "final_max_batch": summary["knobs"]["max_batch"],
+        "final_max_wait_ms": summary["knobs"]["max_wait_ms"],
+        "control_steps": summary["step_count"],
+        "knob_adjustments": summary["adjustment_count"],
+        "recommended_replicas": summary["recommended_replicas"],
+        "wall_s": elapsed,
+        "p50_latency_ms": float(np.percentile(latencies, 50.0)),
+        "p99_latency_ms": float(np.percentile(latencies, 99.0)),
+        "dropped_requests": drops[0],
+        "phases": phases,
+    }
+    if mode == "adaptive":
+        record["control_metric_families"] = control_families
+    return decisions, record
+
+
+def run_shed_probe(args, payload_dict: dict) -> dict:
+    """Deterministic shed accounting: exactly the overflow is rejected.
+
+    Stalled coalescers (huge batch and deadline) let pending depth build
+    deterministically: with ``high_water=4`` the fifth submission must shed,
+    and every *accepted* request must still resolve after the flush -- the
+    control plane may refuse work at admission, never drop it afterwards.
+    """
+    config = ServingConfig(
+        tuning=TuningConfig(
+            max_batch=1000,
+            max_wait_ms=10_000.0,
+            queue_depth_high_water=4,
+            batch_ceiling=1000,
+            wait_ceiling_ms=10_000.0,
+        )
+    )
+    rng = np.random.default_rng(17 + args.seed)
+    rows = rng.normal(size=(6, args.features))
+    shed = 0
+    accepted = []
+    with serve(payload_dict, config, memoize=False) as handle:
+        for row in rows:
+            try:
+                accepted.append(handle.submit(row))
+            except LoadShedError:
+                shed += 1
+        handle.flush()
+        probe_drops = [0]
+        resolved = _resolve(accepted, probe_drops)
+    return {
+        "submitted": len(rows),
+        "high_water": 4,
+        "shed_count": shed,
+        "accepted": len(accepted),
+        "completed": len(resolved),
+        "dropped": len(accepted) - len(resolved),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_control.json"))
+    parser.add_argument("--steady", type=int, default=96)
+    parser.add_argument("--burst", type=int, default=96)
+    parser.add_argument("--burst-rounds", type=int, default=4)
+    parser.add_argument("--flood", type=int, default=160)
+    parser.add_argument("--unique", type=int, default=48)
+    parser.add_argument("--train-size", type=int, default=64)
+    parser.add_argument("--landmarks", type=int, default=16)
+    parser.add_argument("--features", type=int, default=4)
+    parser.add_argument(
+        "--pace-ms",
+        type=float,
+        default=4.0,
+        help="steady-phase gap between arrivals; keeping it under the large "
+        "static deadline makes that mode's flushes deadline-driven, the "
+        "regime where a throughput tuning pays pure wait",
+    )
+    parser.add_argument(
+        "--step-every",
+        type=int,
+        default=16,
+        help="adaptive modes step the controller every this many "
+        "submissions/results -- a deterministic schedule, not a timer",
+    )
+    parser.add_argument(
+        "--best-margin",
+        type=float,
+        default=1.3,
+        help="whole-run adaptive p99 must stay within this factor of the "
+        "best static mode's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    trace = build_trace(args)
+    total = sum(len(v) for v in trace.values())
+    print(
+        f"trace: {args.steady} paced zipf + {args.burst} burst "
+        f"({args.burst_rounds} rounds) + {args.flood} cold-flood = "
+        f"{total} requests, m={args.landmarks} landmarks"
+    )
+
+    # Ground truth: the model's answers with no serving stack at all.
+    reference_engine = build_engine(args)
+    full_stream = np.vstack([trace["steady"], trace["burst"], trace["flood"]])
+    reference = reference_engine.streaming_classifier().classify(
+        full_stream
+    ).decision_values
+
+    records = []
+    failures = []
+    outputs = {}
+    for mode in ("static-small", "static-large", "adaptive", "adaptive-fleet"):
+        decisions, record = run_mode(args, trace, mode)
+        record["byte_identical"] = bool(np.array_equal(decisions, reference))
+        records.append(record)
+        outputs[mode] = record
+        print(
+            f"{mode}: p99={record['p99_latency_ms']:.2f} ms "
+            f"(steady {record['phases']['steady']['p99_latency_ms']:.2f}, "
+            f"flood {record['phases']['flood']['p99_latency_ms']:.2f}), "
+            f"batch {record['initial_max_batch']}->"
+            f"{record['peak_max_batch']} peak, "
+            f"{record['knob_adjustments']} adjustments, "
+            f"identical={record['byte_identical']}"
+        )
+        if not record["byte_identical"]:
+            failures.append(f"{mode} is not byte-identical to the reference")
+        if record["dropped_requests"] != 0:
+            failures.append(f"{mode} dropped {record['dropped_requests']} requests")
+
+    statics = [outputs["static-small"], outputs["static-large"]]
+    adaptive = outputs["adaptive"]
+    worst_static_p99 = max(r["p99_latency_ms"] for r in statics)
+    best_static_p99 = min(r["p99_latency_ms"] for r in statics)
+    worst_static_steady_p99 = max(
+        r["phases"]["steady"]["p99_latency_ms"] for r in statics
+    )
+    beats_worst = adaptive["p99_latency_ms"] < worst_static_p99
+    matches_best = (
+        adaptive["p99_latency_ms"] <= args.best_margin * best_static_p99
+    )
+    steady_beats_worst = (
+        adaptive["phases"]["steady"]["p99_latency_ms"]
+        < worst_static_steady_p99
+    )
+    adapted = adaptive["knob_adjustments"] > 0
+    grew = adaptive["peak_max_batch"] > adaptive["initial_max_batch"]
+    knobs_exported = bool(
+        adaptive.get("control_metric_families")
+        and "repro_control_knob" in adaptive["control_metric_families"]
+        and "repro_control_adjustments_total"
+        in adaptive["control_metric_families"]
+    )
+    if not beats_worst:
+        failures.append(
+            f"adaptive p99 {adaptive['p99_latency_ms']:.2f} ms does not beat "
+            f"the worst static mode's {worst_static_p99:.2f} ms"
+        )
+    if not matches_best:
+        failures.append(
+            f"adaptive p99 {adaptive['p99_latency_ms']:.2f} ms exceeds "
+            f"{args.best_margin}x the best static mode's {best_static_p99:.2f} ms"
+        )
+    if not steady_beats_worst:
+        failures.append("adaptive steady-phase p99 does not beat the worst static")
+    if not adapted:
+        failures.append("the adaptive controller never adjusted a knob")
+    if not grew:
+        failures.append("the flood did not drive max_batch up")
+    if not knobs_exported:
+        failures.append("/metrics did not export the repro_control_* families")
+
+    shed_probe = run_shed_probe(args, reference_engine.serving_payload())
+    print(
+        f"shed probe: {shed_probe['shed_count']} shed of "
+        f"{shed_probe['submitted']} at high_water={shed_probe['high_water']}, "
+        f"{shed_probe['completed']}/{shed_probe['accepted']} accepted completed"
+    )
+    if shed_probe["shed_count"] != shed_probe["submitted"] - shed_probe["high_water"]:
+        failures.append("the shed probe did not shed exactly the overflow")
+    if shed_probe["dropped"] != 0:
+        failures.append("the shed probe dropped accepted requests")
+
+    payload = {
+        "benchmark": "control",
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "steady": args.steady,
+            "burst": args.burst,
+            "burst_rounds": args.burst_rounds,
+            "flood": args.flood,
+            "unique_rows": args.unique,
+            "pace_ms": args.pace_ms,
+            "step_every": args.step_every,
+            "train_size": args.train_size,
+            "landmarks": args.landmarks,
+            "features": args.features,
+            "seed": args.seed,
+        },
+        "records": records,
+        "shed_probe": shed_probe,
+        "byte_identical": all(r["byte_identical"] for r in records),
+        "dropped_requests": sum(r["dropped_requests"] for r in records),
+        "adaptive": {
+            "adapted": adapted,
+            "grew_under_flood": grew,
+            "beats_worst_static": beats_worst,
+            "matches_best_static": matches_best,
+            "steady_beats_worst_static": steady_beats_worst,
+            "knobs_exported": knobs_exported,
+            "p99_latency_ms": adaptive["p99_latency_ms"],
+            "worst_static_p99_ms": worst_static_p99,
+            "best_static_p99_ms": best_static_p99,
+        },
+        "best_margin_required": args.best_margin,
+        "ok": not failures,
+    }
+    payload_text = json.dumps(payload, indent=2, sort_keys=True)
+    args.out.write_text(payload_text)
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"OK: one adaptive knob set holds p99 at {adaptive['p99_latency_ms']:.2f} ms "
+        f"across all three phases (statics: {best_static_p99:.2f} / "
+        f"{worst_static_p99:.2f} ms), byte-identical throughout"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -179,6 +179,30 @@ METRIC_RULES: dict[str, list[Metric]] = {
         # own byte-identicality contract; the committed baseline documents
         # the expected decorrelation instead.
     ],
+    "BENCH_control.json": [
+        Metric("ok", "true"),
+        # The control plane's metamorphic contract: knobs move *when* work
+        # happens, never *what* it computes.
+        Metric("byte_identical", "true"),
+        # The closed loop must actually close: adjustments applied, and the
+        # cold flood must drive the batch knob up from its small start.
+        Metric("adaptive.adapted", "true"),
+        Metric("adaptive.grew_under_flood", "true"),
+        # One adaptive knob set across all three traffic phases: strictly
+        # better than the worst static tuning, within the producing
+        # script's --best-margin of the best one.  These are same-run
+        # comparisons, so runner speed cancels out of the ratio.
+        Metric("adaptive.beats_worst_static", "true"),
+        Metric("adaptive.matches_best_static", "true"),
+        Metric("adaptive.steady_beats_worst_static", "true"),
+        Metric("adaptive.knobs_exported", "true"),
+        # Admission control may refuse work, never lose it: the shed probe
+        # sheds exactly its configured overflow and every accepted request
+        # resolves.
+        Metric("dropped_requests", "exact"),
+        Metric("shed_probe.shed_count", "exact"),
+        Metric("shed_probe.dropped", "exact"),
+    ],
 }
 
 

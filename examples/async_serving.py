@@ -4,10 +4,11 @@ Builds the full serving stack introduced by the serving layer:
 
 1. fit a Nystrom-backed :class:`repro.core.QuantumKernelInferenceEngine`
    (training cost ``O(n m)`` engine pairs);
-2. wrap it in an :class:`repro.serving.AsyncServingQueue` -- requests
-   accumulate up to ``max_batch`` / ``max_wait_ms`` and flush as one
-   kernel-row plan against the cached landmark states;
-3. push a hot-key request stream through both the queue and the
+2. stand the service up with one call -- ``repro.serve(engine, config)``
+   returns a :class:`repro.serving.ServingHandle` whose replica queue
+   coalesces requests up to ``max_batch`` / ``max_wait_ms`` and flushes
+   each batch as one kernel-row plan against the cached landmark states;
+3. push a hot-key request stream through both the handle and the
    one-at-a-time baseline, verify the predictions are byte-identical, and
    print the latency/throughput accounting the queue's
    :class:`repro.profiling.ServingMetrics` collected.
@@ -30,8 +31,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+import repro
 from repro.approx import NystroemConfig
-from repro.config import AnsatzConfig
+from repro.config import AnsatzConfig, ServingConfig, TuningConfig
 from repro.core import QuantumKernelInferenceEngine
 from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
 from repro.profiling import format_table
@@ -87,21 +89,23 @@ def main() -> None:
     )
     baseline_s = time.perf_counter() - start
 
-    queue = engine.serving_queue(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        workers=args.workers,
-        seed=0,
+    config = ServingConfig(
+        tuning=TuningConfig(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        )
     )
+    handle = repro.serve(engine, config, workers=args.workers)
+    queue = handle.router.queues[0]
     start = time.perf_counter()
-    futures = queue.submit_many(stream)
+    futures = handle.submit_many(stream)
     results = [f.result(timeout=600) for f in futures]
     queue_s = time.perf_counter() - start
-    queue.close()
+    snapshot = queue.metrics.to_dict()
+    memo_hits = queue.memo_hits
+    handle.close()
 
     decisions = np.array([r.decision_value for r in results])
     identical = np.array_equal(decisions, baseline)
-    snapshot = queue.metrics.to_dict()
 
     rows = [
         {
@@ -125,7 +129,7 @@ def main() -> None:
     print(
         f"coalesced into {snapshot['total_batches']} batches "
         f"(mean size {snapshot['mean_batch_size']:.1f}), "
-        f"memo hits {queue.memo_hits}, "
+        f"memo hits {memo_hits}, "
         f"queue depth high-water {snapshot['queue_depth_high_water']}"
     )
     print(f"speedup: {baseline_s / queue_s:.2f}x, byte-identical: {identical}")

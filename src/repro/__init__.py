@@ -44,10 +44,13 @@ True
 from .config import (
     AnsatzConfig,
     ExperimentConfig,
+    ServingConfig,
     SimulationConfig,
     SVMConfig,
+    TuningConfig,
     DEFAULT_C_GRID,
 )
+from .control import AdaptiveController, make_control_policy
 from .engine import EngineConfig, KernelEngine, StateStore
 from .exceptions import ReproError
 from .mps import MPS, InstrumentedMPS, TruncationPolicy
@@ -61,6 +64,7 @@ from .approx import (
     StreamingNystroemClassifier,
 )
 from .backends import CpuBackend, SimulatedGpuBackend, get_backend
+from .serving import ServingHandle, serve
 from .core import QuantumKernelPipeline, PipelineResult
 from .core.experiment import ClassificationExperiment, run_classification_experiment
 
@@ -72,7 +76,13 @@ __all__ = [
     "SimulationConfig",
     "SVMConfig",
     "ExperimentConfig",
+    "ServingConfig",
+    "TuningConfig",
     "DEFAULT_C_GRID",
+    "AdaptiveController",
+    "make_control_policy",
+    "serve",
+    "ServingHandle",
     "ReproError",
     "EngineConfig",
     "KernelEngine",

@@ -16,6 +16,7 @@ that experiment records can safely hash / compare them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, asdict
 from typing import Any, Mapping
 
@@ -174,24 +175,53 @@ class SVMConfig:
 
 
 @dataclass(frozen=True)
-class ServingConfig:
-    """Deployment-facing knobs of the durable serving tier.
+class TuningConfig:
+    """Every live performance knob of the serving tier, plus its bounds.
 
-    One declarative bundle for everything between a fitted model and a
-    traffic-ready fleet: coalescing (``max_batch`` / ``max_wait_ms``), the
-    replica fleet (``num_replicas`` / ``routing_policy``), admission control
-    (``queue_depth_high_water``), and durability (``snapshot_root`` plus the
-    warm-up key budget).  Consumed by
-    :meth:`repro.serving.ReplicaRouter.from_config`.
+    The first group is the knobs themselves -- the values a fleet starts
+    with.  They used to be scattered across ``AsyncServingQueue``,
+    ``ReplicaRouter`` and ``EngineConfig`` constructor kwargs; one validated
+    bundle replaces that sprawl.
+
+    The second group is the **adaptation bounds**: the closed interval each
+    knob may move in when an :class:`repro.control.AdaptiveController` is
+    driving it.  The controller clamps every proposal into these bounds, so
+    a misbehaving policy can never push the fleet outside the envelope the
+    operator configured.  A starting knob is allowed to sit outside its
+    bound interval (the static policy never moves it); the first adaptive
+    adjustment pulls it inside.
+
+    Parameters
+    ----------
+    max_batch / max_wait_ms / wait_jitter_ms:
+        Coalescing knobs of every replica queue (flush when ``max_batch``
+        requests are pending or the oldest has waited ``max_wait_ms``, with
+        optional anti-lockstep jitter).
+    encode_batch_size:
+        Circuits per stacked encoding sweep; ``None`` keeps each engine's
+        :attr:`repro.engine.EngineConfig.encode_batch_size`.
+    queue_depth_high_water:
+        Load-shedding threshold of the replica router; ``None`` disables
+        shedding (and the controller then never touches it).
+    min_batch / batch_ceiling:
+        Bounds for ``max_batch`` and ``encode_batch_size`` adjustments.
+    min_wait_ms / wait_ceiling_ms:
+        Bounds for ``max_wait_ms`` (and jitter) adjustments.
+    min_high_water / high_water_ceiling:
+        Bounds for shed-threshold adjustments.
     """
 
     max_batch: int = 32
     max_wait_ms: float = 5.0
-    num_replicas: int = 1
-    routing_policy: str = "round-robin"
+    wait_jitter_ms: float = 0.0
+    encode_batch_size: int | None = None
     queue_depth_high_water: int | None = None
-    snapshot_root: str | None = None
-    warm_max_keys: int | None = None
+    min_batch: int = 1
+    batch_ceiling: int = 128
+    min_wait_ms: float = 0.5
+    wait_ceiling_ms: float = 50.0
+    min_high_water: int = 4
+    high_water_ceiling: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -202,9 +232,14 @@ class ServingConfig:
             raise ConfigurationError(
                 f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
             )
-        if self.num_replicas < 1:
+        if self.wait_jitter_ms < 0:
             raise ConfigurationError(
-                f"num_replicas must be >= 1, got {self.num_replicas}"
+                f"wait_jitter_ms must be >= 0, got {self.wait_jitter_ms}"
+            )
+        if self.encode_batch_size is not None and self.encode_batch_size < 1:
+            raise ConfigurationError(
+                "encode_batch_size must be >= 1 or None, got "
+                f"{self.encode_batch_size}"
             )
         if (
             self.queue_depth_high_water is not None
@@ -214,9 +249,130 @@ class ServingConfig:
                 "queue_depth_high_water must be >= 1 or None, got "
                 f"{self.queue_depth_high_water}"
             )
+        if self.min_batch < 1:
+            raise ConfigurationError(
+                f"min_batch must be >= 1, got {self.min_batch}"
+            )
+        if self.batch_ceiling < self.min_batch:
+            raise ConfigurationError(
+                f"batch_ceiling ({self.batch_ceiling}) must be >= "
+                f"min_batch ({self.min_batch})"
+            )
+        if self.min_wait_ms < 0:
+            raise ConfigurationError(
+                f"min_wait_ms must be >= 0, got {self.min_wait_ms}"
+            )
+        if self.wait_ceiling_ms < self.min_wait_ms:
+            raise ConfigurationError(
+                f"wait_ceiling_ms ({self.wait_ceiling_ms}) must be >= "
+                f"min_wait_ms ({self.min_wait_ms})"
+            )
+        if self.min_high_water < 1:
+            raise ConfigurationError(
+                f"min_high_water must be >= 1, got {self.min_high_water}"
+            )
+        if self.high_water_ceiling < self.min_high_water:
+            raise ConfigurationError(
+                f"high_water_ceiling ({self.high_water_ceiling}) must be >= "
+                f"min_high_water ({self.min_high_water})"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+#: ServingConfig fields that used to be loose constructor kwargs; they now
+#: live in :class:`TuningConfig` and passing them directly is deprecated.
+_LOOSE_TUNING_FIELDS = (
+    "max_batch",
+    "max_wait_ms",
+    "wait_jitter_ms",
+    "encode_batch_size",
+    "queue_depth_high_water",
+)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Deployment-facing knobs of the durable serving tier.
+
+    One declarative bundle for everything between a fitted model and a
+    traffic-ready fleet: the performance knobs and their adaptation bounds
+    (``tuning``, a nested :class:`TuningConfig`), the replica fleet
+    (``num_replicas`` / ``routing_policy``), durability (``snapshot_root``
+    plus the warm-up key budget), and the control plane
+    (``control_policy`` / ``control_interval_s``).  Consumed by
+    :meth:`repro.serving.ReplicaRouter.from_config` and :func:`repro.serve`.
+
+    The loose knob kwargs (``max_batch``, ``max_wait_ms``,
+    ``wait_jitter_ms``, ``encode_batch_size``, ``queue_depth_high_water``)
+    are **deprecated**: pass ``tuning=TuningConfig(...)`` instead.  They
+    keep working -- a :class:`DeprecationWarning` is emitted and the values
+    are folded into ``tuning`` -- and reading them back always reflects the
+    effective tuning, so legacy call sites see consistent values.
+    """
+
+    max_batch: int | None = None
+    max_wait_ms: float | None = None
+    num_replicas: int = 1
+    routing_policy: str = "round-robin"
+    queue_depth_high_water: int | None = None
+    snapshot_root: str | None = None
+    warm_max_keys: int | None = None
+    wait_jitter_ms: float | None = None
+    encode_batch_size: int | None = None
+    tuning: TuningConfig | None = None
+    control_policy: str = "static"
+    control_interval_s: float = 0.0
+    memoize: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        loose = {
+            name: getattr(self, name)
+            for name in _LOOSE_TUNING_FIELDS
+            if getattr(self, name) is not None
+        }
+        if loose and self.tuning is not None:
+            raise ConfigurationError(
+                "pass tuning=TuningConfig(...) or the loose serving knobs "
+                f"({', '.join(sorted(loose))}), not both"
+            )
+        if loose:
+            warnings.warn(
+                f"loose serving knobs ({', '.join(sorted(loose))}) are "
+                "deprecated; pass ServingConfig(tuning=TuningConfig(...)) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            tuning = TuningConfig(**loose)
+        elif self.tuning is not None:
+            tuning = self.tuning
+        else:
+            tuning = TuningConfig()
+        object.__setattr__(self, "tuning", tuning)
+        # Mirror the effective tuning back onto the legacy fields so old
+        # attribute readers (``config.max_batch``) stay consistent with the
+        # nested bundle whichever way the config was built.
+        for name in _LOOSE_TUNING_FIELDS:
+            object.__setattr__(self, name, getattr(tuning, name))
+        if self.num_replicas < 1:
+            raise ConfigurationError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
         if self.warm_max_keys is not None and self.warm_max_keys < 0:
             raise ConfigurationError(
                 f"warm_max_keys must be >= 0 or None, got {self.warm_max_keys}"
+            )
+        if not self.control_policy or not isinstance(self.control_policy, str):
+            raise ConfigurationError(
+                f"control_policy must be a registry name, got "
+                f"{self.control_policy!r}"
+            )
+        if self.control_interval_s < 0:
+            raise ConfigurationError(
+                f"control_interval_s must be >= 0, got {self.control_interval_s}"
             )
 
     def to_dict(self) -> dict[str, Any]:

@@ -225,6 +225,30 @@ class KernelEngine:
             self.store = None
         self._ansatz_fp = ansatz_fingerprint(ansatz)
         self._simulation_fp = simulation_fingerprint(self.backend.config)
+        self._encode_batch_size_override: Optional[int] = None
+
+    @property
+    def encode_batch_size(self) -> int:
+        """Effective stacked-encode chunk size (live override, else config).
+
+        Chunking is bit-identical by the stacked-sweep contract, so this
+        knob only moves sweep granularity -- the adaptive control plane
+        retunes it at runtime via :meth:`set_encode_batch_size` without
+        rebuilding the engine.
+        """
+        override = self._encode_batch_size_override
+        return self.config.encode_batch_size if override is None else override
+
+    def set_encode_batch_size(self, size: int | None) -> int:
+        """Override the stacked-encode chunk size at runtime.
+
+        ``None`` clears the override and restores the config default.
+        Returns the effective chunk size after the change.
+        """
+        if size is not None and int(size) < 1:
+            raise EngineError(f"encode_batch_size must be >= 1, got {size}")
+        self._encode_batch_size_override = None if size is None else int(size)
+        return self.encode_batch_size
 
     @property
     def fingerprint(self) -> str:
@@ -373,7 +397,7 @@ class KernelEngine:
     ) -> None:
         """Encode the selected rows through stacked sweeps, filling ``states``."""
         indices = list(indices)
-        chunk_size = self.config.encode_batch_size
+        chunk_size = self.encode_batch_size
         for lo in range(0, len(indices), chunk_size):
             chunk = indices[lo : lo + chunk_size]
             circuits = [

@@ -35,13 +35,14 @@ sweep and the row-wise serving projections, and is enforced by
 in ``tests/serving/``.
 """
 
+from .handle import ServingHandle, resolve_serving_payload, serve
 from .persistence import (
     SNAPSHOT_VERSION,
     PersistentStateStore,
     SnapshotManifest,
     WarmUpReport,
 )
-from .queue import AsyncServingQueue, ServedPrediction
+from .queue import AsyncServingQueue, QueueTuning, ServedPrediction
 from .router import (
     ROUTING_POLICIES,
     KeyAffinityPolicy,
@@ -59,7 +60,11 @@ from .store import (
 
 __all__ = [
     "AsyncServingQueue",
+    "QueueTuning",
     "ServedPrediction",
+    "ServingHandle",
+    "serve",
+    "resolve_serving_payload",
     "SharedLandmarkStore",
     "attach_shared_store",
     "shared_store_kernel_rows",

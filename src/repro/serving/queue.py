@@ -61,7 +61,39 @@ from ..profiling import ServingMetrics
 from ..telemetry.tracing import TRACER, Span
 from .store import attach_shared_store, shared_store_kernel_rows
 
-__all__ = ["ServedPrediction", "AsyncServingQueue"]
+__all__ = ["ServedPrediction", "QueueTuning", "AsyncServingQueue"]
+
+
+@dataclass(frozen=True)
+class QueueTuning:
+    """One immutable snapshot of the queue's coalescing knobs.
+
+    The coalescer captures exactly one snapshot per flush decision (the
+    moment it starts collecting a batch), the same discipline a flush uses
+    for its :class:`_ModelSlot`: a knob change installed mid-wait takes
+    effect at the *next* flush decision, never inside the current one, so a
+    batch is always collected under one internally consistent knob set.
+    ``version`` is monotone -- every :meth:`AsyncServingQueue.apply_tuning`
+    bumps it -- which lets callers (and the metamorphic suite) correlate
+    results with the knob generation that coalesced them.
+    """
+
+    max_batch: int
+    max_wait_ms: float
+    wait_jitter_ms: float
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServingError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.wait_jitter_ms < 0:
+            raise ServingError(
+                f"wait_jitter_ms must be >= 0, got {self.wait_jitter_ms}"
+            )
 
 
 @dataclass(frozen=True)
@@ -175,21 +207,29 @@ class AsyncServingQueue:
         memoize: bool = True,
         memo_capacity: int = 4096,
         metrics: ServingMetrics | None = None,
+        encode_batch_size: int | None = None,
     ) -> None:
-        if max_batch < 1:
-            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
-        if max_wait_ms < 0:
-            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if workers < 0:
             raise ServingError(f"workers must be >= 0, got {workers}")
-        if wait_jitter_ms < 0:
-            raise ServingError(f"wait_jitter_ms must be >= 0, got {wait_jitter_ms}")
         if memo_capacity < 1:
             raise ServingError(f"memo_capacity must be >= 1, got {memo_capacity}")
-        self.max_batch = int(max_batch)
-        self.max_wait_s = float(max_wait_ms) / 1000.0
+        if encode_batch_size is not None and encode_batch_size < 1:
+            raise ServingError(
+                f"encode_batch_size must be >= 1, got {encode_batch_size}"
+            )
+        # Knobs live in one immutable versioned snapshot (validated there);
+        # apply_tuning() installs replacements at runtime.
+        self._tuning = QueueTuning(
+            max_batch=int(max_batch),
+            max_wait_ms=float(max_wait_ms),
+            wait_jitter_ms=float(wait_jitter_ms),
+            version=0,
+        )
+        self.knob_adjustments = 0
+        self._encode_batch_size = (
+            None if encode_batch_size is None else int(encode_batch_size)
+        )
         self.workers = int(workers)
-        self.wait_jitter_s = float(wait_jitter_ms) / 1000.0
         self.rng = make_rng(seed)
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self.memoize = bool(memoize)
@@ -205,6 +245,10 @@ class AsyncServingQueue:
             memo=OrderedDict() if self.memoize else None,
             pool=self._build_pool(classifier, None),
         )
+        if self._encode_batch_size is not None:
+            classifier.feature_map.engine.set_encode_batch_size(
+                self._encode_batch_size
+            )
 
         self._cond = threading.Condition()
         self._pending: List[_Pending] = []
@@ -244,6 +288,89 @@ class AsyncServingQueue:
     def model_version(self) -> int:
         """Version of the currently active model slot (0 at construction)."""
         return self._slot.version
+
+    # ------------------------------------------------------------------
+    @property
+    def tuning(self) -> QueueTuning:
+        """The currently installed knob snapshot."""
+        return self._tuning
+
+    @property
+    def max_batch(self) -> int:
+        """Flush threshold of the current knob snapshot."""
+        return self._tuning.max_batch
+
+    @property
+    def max_wait_s(self) -> float:
+        """Partial-batch deadline of the current knob snapshot, in seconds."""
+        return self._tuning.max_wait_ms / 1000.0
+
+    @property
+    def wait_jitter_s(self) -> float:
+        """Deadline jitter of the current knob snapshot, in seconds."""
+        return self._tuning.wait_jitter_ms / 1000.0
+
+    @property
+    def encode_batch_size(self) -> int:
+        """Effective stacked-encode chunk size of the active model's engine."""
+        return self._slot.classifier.feature_map.engine.encode_batch_size
+
+    def apply_tuning(
+        self,
+        max_batch: int | None = None,
+        max_wait_ms: float | None = None,
+        wait_jitter_ms: float | None = None,
+        encode_batch_size: int | None = None,
+    ) -> QueueTuning:
+        """Install a new versioned knob snapshot; unset knobs keep their value.
+
+        The replacement is fully validated *before* anything mutates, then
+        installed as a single reference assignment under the queue lock --
+        the same atomicity discipline as a model swap.  The coalescer picks
+        it up at its next flush decision; a batch mid-collection completes
+        under the snapshot it captured.  Predictions are unaffected either
+        way (coalescing and encode chunking are bit-identical by the
+        engine's contract); only latency and throughput move.
+
+        ``encode_batch_size`` applies to the active model's engine and is
+        re-applied to every future model slot a swap installs.  Returns the
+        installed snapshot.
+        """
+        if encode_batch_size is not None and int(encode_batch_size) < 1:
+            raise ServingError(
+                f"encode_batch_size must be >= 1, got {encode_batch_size}"
+            )
+        with self._cond:
+            if self._closed:
+                raise ServingError("serving queue is closed")
+            current = self._tuning
+            replacement = QueueTuning(
+                max_batch=(
+                    current.max_batch if max_batch is None else int(max_batch)
+                ),
+                max_wait_ms=(
+                    current.max_wait_ms
+                    if max_wait_ms is None
+                    else float(max_wait_ms)
+                ),
+                wait_jitter_ms=(
+                    current.wait_jitter_ms
+                    if wait_jitter_ms is None
+                    else float(wait_jitter_ms)
+                ),
+                version=current.version + 1,
+            )
+            self._tuning = replacement
+            if encode_batch_size is not None:
+                self._encode_batch_size = int(encode_batch_size)
+                self._slot.classifier.feature_map.engine.set_encode_batch_size(
+                    self._encode_batch_size
+                )
+            self.knob_adjustments += 1
+            # Wake the coalescer: a shorter deadline or smaller batch may
+            # make the pending buffer due right now.
+            self._cond.notify_all()
+        return replacement
 
     def _build_pool(
         self, classifier: StreamingNystroemClassifier, payload: Optional[Dict]
@@ -304,6 +431,12 @@ class AsyncServingQueue:
             raise ServingError(
                 f"replacement model expects {expected} features but the "
                 f"queue serves {self._expected_features}"
+            )
+        if self._encode_batch_size is not None:
+            # A live encode-chunk override survives model swaps: the fresh
+            # slot's engine inherits it before serving its first flush.
+            classifier.feature_map.engine.set_encode_batch_size(
+                self._encode_batch_size
             )
         new_pool = self._build_pool(classifier, _payload)
         with TRACER.span("serving.swap") as span:
@@ -419,11 +552,17 @@ class AsyncServingQueue:
                     return None
                 self._flush_requested = False
                 self._cond.wait()
-            deadline = self._pending[0].enqueued_at + self.max_wait_s
-            if self.wait_jitter_s > 0.0:
-                deadline += float(self.rng.uniform(0.0, self.wait_jitter_s))
+            # One knob snapshot per flush decision, captured exactly here
+            # (mirroring the model-slot capture in _process): a concurrent
+            # apply_tuning() takes effect at the next decision.
+            tuning = self._tuning
+            max_wait_s = tuning.max_wait_ms / 1000.0
+            wait_jitter_s = tuning.wait_jitter_ms / 1000.0
+            deadline = self._pending[0].enqueued_at + max_wait_s
+            if wait_jitter_s > 0.0:
+                deadline += float(self.rng.uniform(0.0, wait_jitter_s))
             while (
-                len(self._pending) < self.max_batch
+                len(self._pending) < tuning.max_batch
                 and not self._flush_requested
                 and not self._closed
             ):
@@ -431,8 +570,8 @@ class AsyncServingQueue:
                 if remaining <= 0:
                     break
                 self._cond.wait(remaining)
-            batch = self._pending[: self.max_batch]
-            del self._pending[: self.max_batch]
+            batch = self._pending[: tuning.max_batch]
+            del self._pending[: tuning.max_batch]
             self._in_flight = [p.future for p in batch]
             if not self._pending:
                 self._flush_requested = False

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.approx import NystroemConfig
-from repro.config import AnsatzConfig, ServingConfig
+from repro.config import AnsatzConfig, ServingConfig, TuningConfig
 from repro.core import QuantumKernelInferenceEngine
 from repro.data import DatasetSpec, balanced_subsample, generate_elliptic_like
 from repro.exceptions import LoadShedError, ServingError
@@ -185,11 +185,11 @@ def test_saturated_pick_fails_over_to_shallowest(payload, queries):
 
 def test_from_config_builds_matching_fleet(payload, tmp_path):
     config = ServingConfig(
-        max_batch=4,
-        max_wait_ms=2.0,
+        tuning=TuningConfig(
+            max_batch=4, max_wait_ms=2.0, queue_depth_high_water=16
+        ),
         num_replicas=2,
         routing_policy="least-depth",
-        queue_depth_high_water=16,
         snapshot_root=str(tmp_path / "snaps"),
     )
     with ReplicaRouter.from_config(payload, config) as router:
@@ -199,6 +199,35 @@ def test_from_config_builds_matching_fleet(payload, tmp_path):
         assert all(store is not None for store in router.replica_stores)
         future = router.submit(np.zeros(4))
         assert future.result(timeout=60).prediction in (0, 1)
+
+
+def test_from_config_accepts_deprecated_loose_knobs(payload):
+    with pytest.warns(DeprecationWarning, match="loose serving knobs"):
+        config = ServingConfig(max_batch=4, max_wait_ms=2.0)
+    assert config.tuning.max_batch == 4
+    with ReplicaRouter.from_config(payload, config) as router:
+        assert router.queues[0].max_batch == 4
+        future = router.submit(np.zeros(4))
+        assert future.result(timeout=60).prediction in (0, 1)
+
+
+def test_router_apply_tuning_fans_out_and_sets_high_water(payload):
+    with ReplicaRouter(
+        payload, num_replicas=2, max_batch=4, queue_depth_high_water=16
+    ) as router:
+        tunings = router.apply_tuning(
+            max_batch=8, max_wait_ms=3.0, queue_depth_high_water=32
+        )
+        assert len(tunings) == 2
+        assert all(t.max_batch == 8 for t in tunings)
+        assert all(q.max_batch == 8 for q in router.queues)
+        assert router.high_water == 32
+        assert router.knob_adjustments == 1
+        # Explicit None disables shedding entirely.
+        router.apply_tuning(queue_depth_high_water=None)
+        assert router.high_water is None
+        with pytest.raises(ServingError):
+            router.set_high_water(0)
 
 
 def test_router_metrics_view_shapes():

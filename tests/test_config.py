@@ -7,8 +7,10 @@ from repro.config import (
     DEFAULT_C_GRID,
     AnsatzConfig,
     ExperimentConfig,
+    ServingConfig,
     SimulationConfig,
     SVMConfig,
+    TuningConfig,
     config_from_mapping,
     make_rng,
 )
@@ -101,3 +103,84 @@ def test_experiment_config_validation():
         ExperimentConfig(ansatz=ansatz, svm_c_grid=())
     with pytest.raises(ConfigurationError):
         ExperimentConfig(ansatz=ansatz, svm_c_grid=(0.0, 1.0))
+
+
+def test_tuning_config_defaults_and_roundtrip():
+    tuning = TuningConfig()
+    assert tuning.max_batch == 32
+    assert tuning.encode_batch_size is None
+    assert tuning.queue_depth_high_water is None
+    assert tuning.min_batch <= tuning.batch_ceiling
+    d = tuning.to_dict()
+    assert TuningConfig(**d) == tuning
+
+
+def test_tuning_config_validates_knobs():
+    # Regression: these used to slip through to the serving layer unvalidated.
+    with pytest.raises(ConfigurationError, match="wait_jitter_ms"):
+        TuningConfig(wait_jitter_ms=-0.5)
+    with pytest.raises(ConfigurationError, match="queue_depth_high_water"):
+        TuningConfig(queue_depth_high_water=0)
+    with pytest.raises(ConfigurationError, match="max_batch"):
+        TuningConfig(max_batch=0)
+    with pytest.raises(ConfigurationError, match="max_wait_ms"):
+        TuningConfig(max_wait_ms=-1.0)
+    with pytest.raises(ConfigurationError, match="encode_batch_size"):
+        TuningConfig(encode_batch_size=0)
+
+
+def test_tuning_config_validates_bounds():
+    with pytest.raises(ConfigurationError, match="min_batch"):
+        TuningConfig(min_batch=0)
+    with pytest.raises(ConfigurationError, match="batch_ceiling"):
+        TuningConfig(min_batch=8, batch_ceiling=4)
+    with pytest.raises(ConfigurationError, match="min_wait_ms"):
+        TuningConfig(min_wait_ms=-1.0)
+    with pytest.raises(ConfigurationError, match="wait_ceiling_ms"):
+        TuningConfig(min_wait_ms=10.0, wait_ceiling_ms=5.0)
+    with pytest.raises(ConfigurationError, match="min_high_water"):
+        TuningConfig(min_high_water=0)
+    with pytest.raises(ConfigurationError, match="high_water_ceiling"):
+        TuningConfig(min_high_water=16, high_water_ceiling=8)
+
+
+def test_tuning_config_initial_knob_may_sit_outside_bounds():
+    # Compatibility: a fixed knob outside the adaptation interval stays
+    # legal -- the static policy never moves it.
+    tuning = TuningConfig(max_wait_ms=0.0, min_wait_ms=0.5)
+    assert tuning.max_wait_ms == 0.0
+
+
+def test_serving_config_nested_tuning_is_canonical():
+    config = ServingConfig(
+        tuning=TuningConfig(max_batch=4, max_wait_ms=2.0),
+        num_replicas=2,
+    )
+    assert config.tuning.max_batch == 4
+    # Legacy attribute readers see the effective tuning.
+    assert config.max_batch == 4
+    assert config.max_wait_ms == 2.0
+    assert config.queue_depth_high_water is None
+
+
+def test_serving_config_loose_knobs_deprecated_but_folded():
+    with pytest.warns(DeprecationWarning, match="loose serving knobs"):
+        config = ServingConfig(max_batch=8, wait_jitter_ms=1.0)
+    assert config.tuning == TuningConfig(max_batch=8, wait_jitter_ms=1.0)
+    assert config.max_batch == 8
+
+
+def test_serving_config_rejects_loose_and_nested_together():
+    with pytest.raises(ConfigurationError, match="not both"):
+        ServingConfig(max_batch=8, tuning=TuningConfig())
+
+
+def test_serving_config_validates_control_fields():
+    with pytest.raises(ConfigurationError, match="num_replicas"):
+        ServingConfig(num_replicas=0)
+    with pytest.raises(ConfigurationError, match="control_policy"):
+        ServingConfig(control_policy="")
+    with pytest.raises(ConfigurationError, match="control_interval_s"):
+        ServingConfig(control_interval_s=-1.0)
+    with pytest.raises(ConfigurationError, match="warm_max_keys"):
+        ServingConfig(warm_max_keys=-1)
